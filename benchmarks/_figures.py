@@ -1,0 +1,91 @@
+"""Shared generators for the Figure 6–11 benchmark families.
+
+Figures 6/7/8 share one template (absolute SRM curves + a <=64 KB
+three-stack comparison), as do Figures 9/10/11 (SRM-to-MPI ratio surfaces);
+these helpers keep each bench file down to the figure-specific assertions.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    format_bytes,
+    format_us,
+    measure,
+    message_sizes,
+    print_table,
+    processor_configs,
+    ratio_percent,
+    small_message_sizes,
+)
+
+
+def absolute_series(operation: str, figure: str) -> dict[str, float]:
+    """Fig. 6/7/8 left panels: SRM absolute time per size per P."""
+    configs = processor_configs()
+    sizes = message_sizes()
+    grid = {
+        nodes: [measure("srm", operation, nbytes, nodes) for nbytes in sizes]
+        for nodes in configs
+    }
+    headers = ["size"] + [f"P={16 * nodes}" for nodes in configs]
+    rows = [
+        [format_bytes(nbytes)] + [format_us(grid[nodes][i].seconds) for nodes in configs]
+        for i, nbytes in enumerate(sizes)
+    ]
+    print_table(f"{figure} (left): SRM {operation} time [us]", headers, rows)
+    return {
+        f"P{16 * nodes}_{nbytes}B": grid[nodes][i].microseconds
+        for nodes in configs
+        for i, nbytes in enumerate(sizes)
+    }
+
+
+def comparison_small(operation: str, figure: str) -> dict[str, float]:
+    """Fig. 6/7/8 right panels: three stacks, <=64 KB, largest P."""
+    nodes = processor_configs()[-1]
+    rows = []
+    info: dict[str, float] = {}
+    for nbytes in small_message_sizes():
+        srm = measure("srm", operation, nbytes, nodes)
+        ibm = measure("ibm", operation, nbytes, nodes)
+        mpich = measure("mpich", operation, nbytes, nodes)
+        rows.append(
+            [
+                format_bytes(nbytes),
+                format_us(srm.seconds),
+                format_us(ibm.seconds),
+                format_us(mpich.seconds),
+            ]
+        )
+        info[f"ratio_ibm_{nbytes}B"] = ratio_percent(srm, ibm)
+        info[f"ratio_mpich_{nbytes}B"] = ratio_percent(srm, mpich)
+    print_table(
+        f"{figure} (right): {operation} <=64KB at P={16 * nodes} [us]",
+        ["size", "SRM", "IBM MPI", "MPICH"],
+        rows,
+    )
+    return info
+
+
+def ratio_surface(operation: str, baseline: str, figure: str) -> dict[str, float]:
+    """Fig. 9/10/11: T_SRM / T_baseline * 100% over the full grid."""
+    configs = processor_configs()
+    sizes = message_sizes()
+    info: dict[str, float] = {}
+    rows = []
+    for nbytes in sizes:
+        row = [format_bytes(nbytes)]
+        for nodes in configs:
+            srm = measure("srm", operation, nbytes, nodes)
+            base = measure(baseline, operation, nbytes, nodes)
+            percent = ratio_percent(srm, base)
+            info[f"P{16 * nodes}_{nbytes}B"] = percent
+            row.append(f"{percent:.1f}%")
+        rows.append(row)
+    headers = ["size"] + [f"P={16 * nodes}" for nodes in configs]
+    print_table(
+        f"{figure}: SRM {operation} as %% of {baseline} (lower is better)",
+        headers,
+        rows,
+    )
+    return info

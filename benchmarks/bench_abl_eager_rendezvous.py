@@ -1,0 +1,94 @@
+"""Ablation A5 (§2.3) — the Eager/Rendezvous trade-off SRM escapes.
+
+Two effects of the baseline MPI's buffer management are demonstrated on the
+raw p2p substrate:
+
+1. the eager limit *shrinks with the task count* (the P-1-buffers memory
+   argument), so a mid-size message that travels eagerly in a 16-task job
+   is forced onto the slower rendezvous path in a 256-task job;
+2. crossing the eager limit costs a visible latency jump (the handshake
+   round trip) at any fixed task count.
+"""
+
+import numpy as np
+
+from repro.bench import format_bytes, format_us, print_table
+from repro.machine import ClusterSpec, Machine
+
+KB = 1024
+
+
+def _p2p_time(total_nodes: int, nbytes: int) -> float:
+    """One inter-node send/recv on a cluster sized to set the eager limit."""
+    machine = Machine(ClusterSpec(nodes=total_nodes, tasks_per_node=16))
+    src = np.ones(nbytes, np.uint8)
+    dst = np.zeros(nbytes, np.uint8)
+    peer = machine.spec.first_rank(total_nodes - 1)
+
+    def program(task):
+        if task.rank == 0:
+            yield from task.mpi.send(peer, src, tag=1)
+        else:
+            yield from task.mpi.recv(0, 1, dst)
+
+    machine.launch(program, ranks=[0, peer])  # warm
+    start = machine.now
+    machine.launch(program, ranks=[0, peer])
+    return machine.now - start
+
+
+def bench_abl5_eager_limit_shrinks_with_scale(run_once):
+    sizes = [2 * KB, 8 * KB, 16 * KB, 32 * KB]
+    node_counts = [1, 4, 16]  # P = 16, 64, 256
+
+    def sweep():
+        info = {}
+        rows = []
+        for nbytes in sizes:
+            row = [format_bytes(nbytes)]
+            for nodes in node_counts:
+                seconds = _p2p_time(max(nodes, 2), nbytes)
+                row.append(format_us(seconds))
+                info[f"{nbytes}_{nodes}"] = seconds * 1e6
+            rows.append(row)
+        machine = Machine(ClusterSpec(nodes=16, tasks_per_node=16))
+        for nodes in node_counts:
+            spec_machine = Machine(ClusterSpec(nodes=max(nodes, 2), tasks_per_node=16))
+            info[f"limit_{nodes}"] = spec_machine.task(0).mpi.eager_limit
+        del machine
+        print_table(
+            "A5a: inter-node p2p latency vs job size [us]",
+            ["size"] + [f"P={16 * n}" for n in node_counts],
+            rows,
+        )
+        return info
+
+    info = run_once(sweep)
+    # The effective eager limit decreases with the task count (§2.3) ...
+    assert info["limit_1"] > info["limit_4"] > info["limit_16"]
+    # ... so a 16 KB message is eager at P=32 but rendezvous at P=256:
+    # the SAME point-to-point message is slower on the bigger job by a
+    # visible handshake margin even though nothing else changed.
+    assert info["16384_16"] > info["16384_1"] + 20.0
+
+
+def bench_abl5_rendezvous_jump(run_once):
+    def sweep():
+        machine = Machine(ClusterSpec(nodes=2, tasks_per_node=16))
+        limit = machine.task(0).mpi.eager_limit
+        below = _p2p_time(2, limit)
+        above = _p2p_time(2, limit + 1024)
+        print_table(
+            f"A5b: latency jump at the eager limit ({format_bytes(limit)})",
+            ["message", "time [us]"],
+            [
+                [f"limit ({format_bytes(limit)})", format_us(below)],
+                [f"limit + 1KB", format_us(above)],
+            ],
+        )
+        return {"below": below * 1e6, "above": above * 1e6, "limit": limit}
+
+    info = run_once(sweep)
+    # Crossing into rendezvous costs far more than the extra kilobyte.
+    extra_bytes_time = 1024 / 350e6 * 1e6
+    assert info["above"] > info["below"] + extra_bytes_time + 20.0

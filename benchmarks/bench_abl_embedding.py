@@ -1,0 +1,70 @@
+"""Ablation A3 (§2.1, Fig. 1) — SMP-aware tree embedding vs naive.
+
+Isolates the embedding from the protocol: the same message-passing stack
+(IBM-MPI-like) runs its broadcast/reduce once over the naive rotated-rank
+binomial tree and once over the Fig. 1 SMP-aware embedding, for a root that
+breaks the accidental rank/node alignment.  The embedded tree uses exactly
+``nodes - 1`` network edges; the naive tree uses several times more, and
+pays for it.
+"""
+
+from repro.bench import build, format_bytes, format_us, print_table, time_operation
+from repro.machine import ClusterSpec
+from repro.mpi.collectives import IbmMpi
+from repro.trees import naive_rank_tree, smp_embedding
+
+NODES = 8
+ROOT = 5  # off-master root: rotation destroys node alignment
+SIZES = (512, 8 * 1024)
+
+
+class EmbeddedIbmMpi(IbmMpi):
+    """IBM-MPI-like stack walking the SMP-aware tree instead of the naive one."""
+
+    name = "IBM MPI (embedded tree)"
+
+    def _tree(self, root):
+        if root not in self._trees:
+            self._trees[root] = smp_embedding(self.machine.spec, root).combined()
+        return self._trees[root]
+
+
+def _time(Stack, operation: str, nbytes: int) -> float:
+    spec = ClusterSpec(nodes=NODES, tasks_per_node=16)
+    machine, _ = build("ibm", spec)
+    stack = Stack(machine)
+    return time_operation(machine, stack, operation, nbytes, root=ROOT, repeats=3, warmup=1).seconds
+
+
+def bench_abl3_embedding(run_once):
+    def sweep():
+        spec = ClusterSpec(nodes=NODES, tasks_per_node=16)
+        naive_edges = naive_rank_tree(spec, ROOT).cross_node_edges(spec)
+        embedded_edges = smp_embedding(spec, ROOT).combined().cross_node_edges(spec)
+        info = {"naive_edges": naive_edges, "embedded_edges": embedded_edges}
+        rows = []
+        for operation in ("broadcast", "reduce"):
+            for nbytes in SIZES:
+                naive = _time(IbmMpi, operation, nbytes)
+                embedded = _time(EmbeddedIbmMpi, operation, nbytes)
+                rows.append(
+                    [operation, format_bytes(nbytes), format_us(naive), format_us(embedded)]
+                )
+                info[f"naive_{operation}_{nbytes}"] = naive * 1e6
+                info[f"embedded_{operation}_{nbytes}"] = embedded * 1e6
+        print_table(
+            f"A3: naive vs SMP-aware tree on the same MPI stack, root={ROOT} "
+            f"(network edges: {naive_edges} vs {embedded_edges}) [us]",
+            ["op", "size", "naive tree", "embedded tree"],
+            rows,
+        )
+        return info
+
+    info = run_once(sweep)
+    assert info["embedded_edges"] == NODES - 1
+    assert info["naive_edges"] > info["embedded_edges"]
+    for operation in ("broadcast", "reduce"):
+        for nbytes in SIZES:
+            assert info[f"embedded_{operation}_{nbytes}"] < info[f"naive_{operation}_{nbytes}"], (
+                f"embedding did not help {operation}/{nbytes}"
+            )

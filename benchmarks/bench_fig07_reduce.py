@@ -1,0 +1,22 @@
+"""Figure 7 — SRM reduce performance (sum over doubles, §3).
+
+Left: absolute SRM reduce time per size per processor count.
+Right: SRM vs IBM MPI vs MPICH MPI_Reduce for messages up to 64 KB at the
+largest configuration.
+"""
+
+from _figures import absolute_series, comparison_small
+from repro.bench import message_sizes, processor_configs
+
+
+def bench_fig07_left_srm_absolute(run_once):
+    info = run_once(lambda: absolute_series("reduce", "Fig. 7"))
+    for nodes in processor_configs():
+        series = [info[f"P{16 * nodes}_{nbytes}B"] for nbytes in message_sizes()]
+        assert series == sorted(series), f"non-monotonic size scaling at {nodes} nodes"
+
+
+def bench_fig07_right_comparison_small(run_once):
+    info = run_once(lambda: comparison_small("reduce", "Fig. 7"))
+    for key, percent in info.items():
+        assert percent < 100.0, f"SRM reduce not fastest: {key}={percent:.1f}%"

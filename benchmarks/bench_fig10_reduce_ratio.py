@@ -1,0 +1,20 @@
+"""Figure 10 — SRM reduce time as a fraction of IBM MPI (left) and MPICH
+(right) MPI_Reduce.
+
+Acceptance shape: SRM wins everywhere; P=256 improvements overlap the
+paper's 24–79% band.
+"""
+
+from _figures import ratio_surface
+
+
+def bench_fig10_vs_ibm(run_once):
+    info = run_once(lambda: ratio_surface("reduce", "ibm", "Fig. 10 (left)"))
+    assert all(percent < 100.0 for percent in info.values())
+    improvements = [100.0 - percent for percent in info.values()]
+    assert max(improvements) > 24.0
+
+
+def bench_fig10_vs_mpich(run_once):
+    info = run_once(lambda: ratio_surface("reduce", "mpich", "Fig. 10 (right)"))
+    assert all(percent < 100.0 for percent in info.values())

@@ -1,0 +1,20 @@
+"""Figure 11 — SRM allreduce time as a fraction of IBM MPI (left) and MPICH
+(right) MPI_Allreduce.
+
+Acceptance shape: SRM wins everywhere; improvements overlap the paper's
+30–73% band.
+"""
+
+from _figures import ratio_surface
+
+
+def bench_fig11_vs_ibm(run_once):
+    info = run_once(lambda: ratio_surface("allreduce", "ibm", "Fig. 11 (left)"))
+    assert all(percent < 100.0 for percent in info.values())
+    improvements = [100.0 - percent for percent in info.values()]
+    assert max(improvements) > 30.0
+
+
+def bench_fig11_vs_mpich(run_once):
+    info = run_once(lambda: ratio_surface("allreduce", "mpich", "Fig. 11 (right)"))
+    assert all(percent < 100.0 for percent in info.values())

@@ -1,0 +1,49 @@
+"""Figure 12 — barrier time versus processor count (SRM, IBM MPI, MPICH).
+
+Acceptance shape: SRM is fastest at every processor count, scales gently
+(~log in node count), and at 256 processors clearly outperforms both MPI
+implementations (the paper reports a 73% improvement; the simulated
+substrate reproduces a >=50% improvement — see EXPERIMENTS.md for the
+residual discussion).
+"""
+
+from repro.bench import format_us, measure, print_table, processor_configs, ratio_percent
+
+
+def bench_fig12_barrier_scaling(run_once):
+    configs = processor_configs()
+
+    def sweep():
+        rows = []
+        info = {}
+        for nodes in configs:
+            srm = measure("srm", "barrier", 0, nodes)
+            ibm = measure("ibm", "barrier", 0, nodes)
+            mpich = measure("mpich", "barrier", 0, nodes)
+            rows.append(
+                [
+                    f"P={16 * nodes}",
+                    format_us(srm.seconds),
+                    format_us(ibm.seconds),
+                    format_us(mpich.seconds),
+                ]
+            )
+            info[f"srm_P{16 * nodes}"] = srm.microseconds
+            info[f"ibm_P{16 * nodes}"] = ibm.microseconds
+            info[f"mpich_P{16 * nodes}"] = mpich.microseconds
+            info[f"ratio_ibm_P{16 * nodes}"] = ratio_percent(srm, ibm)
+        print_table(
+            "Fig. 12: barrier time vs processor count [us]",
+            ["procs", "SRM", "IBM MPI", "MPICH"],
+            rows,
+        )
+        return info
+
+    info = run_once(sweep)
+    for nodes in configs:
+        P = 16 * nodes
+        assert info[f"srm_P{P}"] < info[f"ibm_P{P}"], f"SRM barrier not fastest at P={P}"
+        assert info[f"srm_P{P}"] < info[f"mpich_P{P}"], f"SRM barrier not fastest at P={P}"
+    # At the largest configuration the improvement is substantial (>= 50%).
+    largest = 16 * configs[-1]
+    assert info[f"ratio_ibm_P{largest}"] < 50.0

@@ -1,0 +1,62 @@
+"""The paper's §3 headline claims, checked at the largest configuration.
+
+"Depending on the message size and number of processors, SRM broadcast
+outperforms IBM MPI_Bcast by 27% to 84% ... reduce by 24% to 79% ...
+allreduce by 30% to 73% ... barrier by 73% on 256 processors."
+
+The simulated reproduction asserts the direction and the rough factor: the
+best-case improvement in each operation's sweep reaches the paper's lower
+band, and SRM never loses.
+"""
+
+from repro.bench import measure, message_sizes, print_table, processor_configs, ratio_percent
+
+PAPER_BANDS = {
+    "broadcast": (27.0, 84.0),
+    "reduce": (24.0, 79.0),
+    "allreduce": (30.0, 73.0),
+}
+
+
+def bench_headline_improvement_bands(run_once):
+    nodes = processor_configs()[-1]
+
+    def sweep():
+        rows = []
+        info = {}
+        for operation, (low, high) in PAPER_BANDS.items():
+            improvements = []
+            for nbytes in message_sizes():
+                srm = measure("srm", operation, nbytes, nodes)
+                ibm = measure("ibm", operation, nbytes, nodes)
+                improvements.append(100.0 - ratio_percent(srm, ibm))
+            info[f"{operation}_min"] = min(improvements)
+            info[f"{operation}_max"] = max(improvements)
+            rows.append(
+                [
+                    operation,
+                    f"{min(improvements):.1f}%",
+                    f"{max(improvements):.1f}%",
+                    f"{low:.0f}%-{high:.0f}%",
+                ]
+            )
+        barrier_improvement = 100.0 - ratio_percent(
+            measure("srm", "barrier", 0, nodes), measure("ibm", "barrier", 0, nodes)
+        )
+        info["barrier"] = barrier_improvement
+        rows.append(["barrier", f"{barrier_improvement:.1f}%", "", "73%"])
+        print_table(
+            f"Headline: SRM improvement over IBM MPI at P={16 * nodes}",
+            ["operation", "min", "max", "paper band"],
+            rows,
+        )
+        return info
+
+    info = run_once(sweep)
+    for operation, (low, _high) in PAPER_BANDS.items():
+        assert info[f"{operation}_min"] > 0.0, f"SRM lost somewhere on {operation}"
+        assert info[f"{operation}_max"] >= low, (
+            f"{operation}: best improvement {info[f'{operation}_max']:.1f}% "
+            f"below the paper's lower band {low}%"
+        )
+    assert info["barrier"] >= 50.0

@@ -1,0 +1,84 @@
+"""Model validation — the analytical model of §5 against the simulator.
+
+The closed-form model (:mod:`repro.analysis.model`) ignores contention and
+interrupt second-order effects, so it will not match the simulation exactly;
+this benchmark records the model/simulation ratio across the sweep and
+asserts it stays within a calibrated band, making the model safe to use for
+the what-if questions §5 raises.
+"""
+
+from repro.analysis import model
+from repro.bench import build, format_bytes, print_table, time_operation
+from repro.machine import ClusterSpec, CostModel
+
+BAND = (0.4, 2.0)
+SIZES = (64, 4096, 65536, 1 << 20)
+NODE_COUNTS = (4, 16)
+
+OPERATIONS = {
+    "broadcast": model.srm_broadcast_time,
+    "reduce": model.srm_reduce_time,
+    "allreduce": model.srm_allreduce_time,
+}
+
+
+def bench_model_vs_simulation(run_once):
+    cost = CostModel.ibm_sp_colony()
+
+    def sweep():
+        info = {}
+        rows = []
+        for nodes in NODE_COUNTS:
+            spec = ClusterSpec(nodes=nodes, tasks_per_node=16)
+            for operation, model_fn in OPERATIONS.items():
+                for nbytes in SIZES:
+                    machine, srm = build("srm", spec)
+                    simulated = time_operation(
+                        machine, srm, operation, nbytes, repeats=2, warmup=1
+                    ).seconds
+                    predicted = model_fn(cost, spec, nbytes)
+                    ratio = predicted / simulated
+                    info[f"{operation}_{nodes}_{nbytes}"] = ratio
+                    rows.append(
+                        [operation, nodes, format_bytes(nbytes), f"{ratio:.2f}"]
+                    )
+            machine, srm = build("srm", spec)
+            simulated = time_operation(machine, srm, "barrier", repeats=3, warmup=1).seconds
+            ratio = model.srm_barrier_time(cost, spec) / simulated
+            info[f"barrier_{nodes}"] = ratio
+            rows.append(["barrier", nodes, "-", f"{ratio:.2f}"])
+        print_table(
+            "Model validation: analytical / simulated time",
+            ["op", "nodes", "size", "model/sim"],
+            rows,
+        )
+        return info
+
+    info = run_once(sweep)
+    for key, ratio in info.items():
+        assert BAND[0] <= ratio <= BAND[1], f"model diverged on {key}: {ratio:.2f}"
+
+
+def bench_model_crossover_question(run_once):
+    """One of §5's what-ifs, answered analytically: how fat can an SMP node
+    get before its internal fan-out costs as much as a network hop?"""
+    cost = CostModel.ibm_sp_colony()
+
+    def sweep():
+        rows = []
+        info = {}
+        for nbytes in (1024, 16 * 1024, 65536):
+            node_size = model.crossover_node_size(cost, nbytes)
+            rows.append([format_bytes(nbytes), node_size])
+            info[f"crossover_{nbytes}"] = node_size
+        print_table(
+            "Node size at which SMP fan-out exceeds one network hop",
+            ["message", "node size"],
+            rows,
+        )
+        return info
+
+    info = run_once(sweep)
+    # On Colony-class parameters, 16-way nodes are still comfortably on the
+    # shared-memory-wins side for small messages.
+    assert info["crossover_1024"] > 16

@@ -1,0 +1,31 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark regenerates one of the paper's figures: it runs the relevant
+simulated sweep exactly once (``benchmark.pedantic`` — the simulation clock
+is deterministic, so re-running buys nothing), prints the same series the
+paper plots (visible with ``-s``), attaches the numbers to
+``benchmark.extra_info``, and asserts the *shape* claims the reproduction
+is accountable for (who wins, by roughly what factor, where the crossovers
+fall).
+"""
+
+from __future__ import annotations
+
+import typing
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a zero-argument callable once under pytest-benchmark and return
+    its value; attach any dict it returns to extra_info."""
+
+    def runner(fn: typing.Callable[[], typing.Any]):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        if isinstance(result, dict):
+            for key, value in result.items():
+                benchmark.extra_info[str(key)] = value
+        return result
+
+    return runner

@@ -1,0 +1,96 @@
+"""Jacobi iteration with SRM collectives for the convergence test.
+
+The paper's introduction motivates collectives with exactly this workload:
+"updating distributed vectors, calculating stopping criteria in iterative
+algorithms".  Each rank owns a block of rows of a diagonally-dominant
+system ``A x = b``; every sweep ends with an **allreduce** of the squared
+residual (the stopping criterion) and an **allgather-by-broadcast** of the
+block updates.  The same program runs under SRM and under the IBM-MPI-like
+baseline, reproducing — inside an application — the collective speedups of
+the paper's microbenchmarks.
+
+Run:  python examples/iterative_jacobi.py
+"""
+
+import numpy as np
+
+from repro.bench import build, format_us
+from repro.machine import ClusterSpec
+from repro.mpi.ops import SUM
+
+NODES = 4
+TASKS_PER_NODE = 8
+UNKNOWNS = 512
+TOLERANCE = 1e-8
+MAX_SWEEPS = 60
+
+
+def make_system(n: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(3)
+    matrix = rng.random((n, n)) * 0.5 / n
+    np.fill_diagonal(matrix, 1.0)
+    rhs = rng.random(n)
+    return matrix, rhs
+
+
+def run(stack_name: str) -> tuple[int, float, np.ndarray]:
+    spec = ClusterSpec(nodes=NODES, tasks_per_node=TASKS_PER_NODE)
+    machine, stack = build(stack_name, spec)
+    total = spec.total_tasks
+    block = UNKNOWNS // total
+    matrix, rhs = make_system(UNKNOWNS)
+
+    x = {rank: np.zeros(UNKNOWNS) for rank in range(total)}
+    sweeps_taken = {}
+
+    def program(task):
+        rank = task.rank
+        mine = slice(rank * block, (rank + 1) * block)
+        local_a = matrix[mine]
+        local_b = rhs[mine]
+        local_diag = np.diag(matrix)[mine]
+        residual_sq = np.zeros(1)
+        global_residual = np.zeros(1)
+
+        for sweep in range(MAX_SWEEPS):
+            # Local Jacobi update on my block.
+            update = (local_b - local_a @ x[rank] + local_diag * x[rank][mine]) / local_diag
+            new_block = update
+            residual_sq[0] = float(np.sum((new_block - x[rank][mine]) ** 2))
+            x[rank][mine] = new_block
+
+            # Share my block with everyone.
+            yield from stack.allgather(task, x[rank][mine].copy(), x[rank])
+
+            # Global stopping criterion.
+            yield from stack.allreduce(task, residual_sq, global_residual, SUM)
+            if global_residual[0] < TOLERANCE:
+                break
+        sweeps_taken[rank] = sweep + 1
+
+    result = machine.launch(program)
+    sweeps = max(sweeps_taken.values())
+    return sweeps, result.elapsed, x[0]
+
+
+def main() -> None:
+    matrix, rhs = make_system(UNKNOWNS)
+    reference = np.linalg.solve(matrix, rhs)
+    print(f"Jacobi on {UNKNOWNS} unknowns, {NODES * TASKS_PER_NODE} ranks "
+          f"({NODES} nodes x {TASKS_PER_NODE}):")
+    times = {}
+    for name in ("srm", "ibm"):
+        sweeps, elapsed, solution = run(name)
+        error = float(np.max(np.abs(solution - reference)))
+        times[name] = elapsed
+        print(
+            f"  {name:5s} converged in {sweeps} sweeps, "
+            f"{format_us(elapsed)} us simulated, max error {error:.2e}"
+        )
+        assert error < 1e-3, "solver failed to converge to the true solution"
+    speedup = times["ibm"] / times["srm"]
+    print(f"  SRM collective stack is {speedup:.2f}x faster end-to-end")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: SRM collectives on a simulated SMP cluster.
+
+Builds the paper's platform (nodes of 16 CPUs, Colony-class network), runs
+one broadcast under all three collective stacks, and prints the timings —
+a one-minute version of the paper's Figure 6.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench import build, format_us, time_operation
+from repro.core import SRM
+from repro.machine import ClusterSpec, Machine
+from repro.mpi.ops import SUM
+
+
+def manual_broadcast() -> None:
+    """Drive the public API directly: one broadcast, data verified."""
+    machine = Machine(ClusterSpec(nodes=4, tasks_per_node=16))
+    srm = SRM(machine)
+    total = machine.spec.total_tasks
+
+    payload = np.arange(1024, dtype=np.float64)
+    buffers = {rank: (payload.copy() if rank == 0 else np.zeros(1024)) for rank in range(total)}
+
+    def program(task):
+        yield from srm.broadcast(task, buffers[task.rank], root=0)
+
+    result = machine.launch(program)
+    assert all(np.array_equal(buffers[rank], payload) for rank in range(total))
+    print(
+        f"broadcast of {payload.nbytes} B to {total} ranks: "
+        f"{format_us(result.elapsed)} us simulated"
+    )
+
+
+def manual_allreduce() -> None:
+    """A global sum (the stopping-criterion pattern from the paper's intro)."""
+    machine = Machine(ClusterSpec(nodes=4, tasks_per_node=16))
+    srm = SRM(machine)
+    total = machine.spec.total_tasks
+    sources = {rank: np.full(128, float(rank)) for rank in range(total)}
+    sums = {rank: np.zeros(128) for rank in range(total)}
+
+    def program(task):
+        yield from srm.allreduce(task, sources[task.rank], sums[task.rank], SUM)
+
+    result = machine.launch(program)
+    expected = sum(range(total))
+    assert all(np.all(sums[rank] == expected) for rank in range(total))
+    print(f"allreduce over {total} ranks: {format_us(result.elapsed)} us simulated")
+
+
+def stack_comparison() -> None:
+    """SRM vs the two MPI baselines — the paper's headline in one table."""
+    spec = ClusterSpec(nodes=8, tasks_per_node=16)
+    print(f"\nbroadcast of 16 KB on {spec} :")
+    baseline = None
+    for name in ("srm", "ibm", "mpich"):
+        machine, stack = build(name, spec)
+        measurement = time_operation(machine, stack, "broadcast", 16 * 1024, repeats=3)
+        label = getattr(stack, "name", name)
+        if baseline is None:
+            baseline = measurement.seconds
+        print(
+            f"  {label:22s} {format_us(measurement.seconds):>9} us "
+            f"({100 * measurement.seconds / baseline:5.1f}% of SRM)"
+        )
+
+
+if __name__ == "__main__":
+    manual_broadcast()
+    manual_allreduce()
+    stack_comparison()

@@ -1,0 +1,42 @@
+"""Analysis companions: data-movement audits (Fig. 2) and the analytical
+performance model the paper's §5 proposes as future work."""
+
+from repro.analysis.datamovement import (
+    MovementCounts,
+    audit_reduce,
+    message_passing_reduce_analytic,
+    smp_reduce_analytic,
+)
+from repro.analysis.model import (
+    crossover_node_size,
+    mpi_barrier_time,
+    mpi_broadcast_time,
+    mpi_p2p_time,
+    predicted_broadcast_ratio,
+    smp_barrier_time,
+    smp_broadcast_time,
+    smp_reduce_time,
+    srm_allreduce_time,
+    srm_barrier_time,
+    srm_broadcast_time,
+    srm_reduce_time,
+)
+
+__all__ = [
+    "MovementCounts",
+    "smp_reduce_analytic",
+    "message_passing_reduce_analytic",
+    "audit_reduce",
+    "smp_broadcast_time",
+    "smp_reduce_time",
+    "smp_barrier_time",
+    "srm_broadcast_time",
+    "srm_reduce_time",
+    "srm_allreduce_time",
+    "srm_barrier_time",
+    "mpi_p2p_time",
+    "mpi_broadcast_time",
+    "mpi_barrier_time",
+    "predicted_broadcast_ratio",
+    "crossover_node_size",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: stack builders, timed runs, sweep grids, reporting."""
+
+from repro.bench.report import format_bytes, format_us, print_table, table
+from repro.bench.runner import STACKS, Measurement, build, time_operation
+from repro.bench.sweeps import (
+    clear_cache,
+    full_grid,
+    measure,
+    message_sizes,
+    processor_configs,
+    ratio_percent,
+    small_message_sizes,
+    sweep,
+)
+
+__all__ = [
+    "STACKS",
+    "Measurement",
+    "build",
+    "time_operation",
+    "measure",
+    "sweep",
+    "ratio_percent",
+    "message_sizes",
+    "small_message_sizes",
+    "processor_configs",
+    "full_grid",
+    "clear_cache",
+    "format_bytes",
+    "format_us",
+    "table",
+    "print_table",
+]

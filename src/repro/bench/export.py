@@ -1,0 +1,76 @@
+"""Export sweep results as CSV or JSON.
+
+A reproduction is only useful if its numbers leave the terminal: this module
+serializes :class:`~repro.bench.runner.Measurement` collections (and the
+derived SRM/baseline ratios) into machine-readable files for plotting or
+regression tracking, and backs ``python -m repro export``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import typing
+
+from repro.bench.runner import Measurement
+from repro.bench.sweeps import measure, message_sizes, processor_configs
+
+__all__ = ["rows_from_measurements", "to_csv", "to_json", "collect_sweep"]
+
+_FIELDS = ("stack", "operation", "nbytes", "total_tasks", "repeats", "microseconds")
+
+
+def rows_from_measurements(
+    measurements: typing.Iterable[Measurement],
+) -> list[dict[str, typing.Any]]:
+    """Flatten measurements into plain dict rows (stable field order)."""
+    rows = []
+    for m in measurements:
+        rows.append(
+            {
+                "stack": m.stack,
+                "operation": m.operation,
+                "nbytes": m.nbytes,
+                "total_tasks": m.total_tasks,
+                "repeats": m.repeats,
+                "microseconds": m.microseconds,
+            }
+        )
+    return rows
+
+
+def to_csv(measurements: typing.Iterable[Measurement]) -> str:
+    """Measurements as CSV text (header + one row each)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for row in rows_from_measurements(measurements):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(measurements: typing.Iterable[Measurement], indent: int = 2) -> str:
+    """Measurements as a JSON array."""
+    return json.dumps(rows_from_measurements(measurements), indent=indent)
+
+
+def collect_sweep(
+    operations: typing.Sequence[str] = ("broadcast", "reduce", "allreduce", "barrier"),
+    stacks: typing.Sequence[str] = ("srm", "ibm", "mpich"),
+) -> list[Measurement]:
+    """The full figure grid (sizes x processor counts x stacks x operations).
+
+    Barrier ignores the size axis (measured once per processor count).
+    """
+    results: list[Measurement] = []
+    for operation in operations:
+        for nodes in processor_configs():
+            if operation == "barrier":
+                for stack in stacks:
+                    results.append(measure(stack, "barrier", 0, nodes))
+                continue
+            for nbytes in message_sizes():
+                for stack in stacks:
+                    results.append(measure(stack, operation, nbytes, nodes))
+    return results

@@ -1,0 +1,92 @@
+"""ASCII renditions of the paper's figures.
+
+The paper plots its evaluation as log-log / log-linear charts; this module
+draws the same series as terminal scatter plots so a reproduction run can be
+eyeballed against the paper without any plotting dependency.  Used by
+``python -m repro figures``.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+__all__ = ["ascii_chart", "Series"]
+
+#: One plotted curve: a label, a glyph, and (x, y) points.
+Series = tuple[str, str, list[tuple[float, float]]]
+
+
+def _log_position(value: float, low: float, high: float, extent: int) -> int:
+    if value <= 0 or low <= 0:
+        raise ValueError("log-scale values must be positive")
+    span = math.log10(high) - math.log10(low)
+    if span == 0:
+        return 0
+    fraction = (math.log10(value) - math.log10(low)) / span
+    return round(fraction * (extent - 1))
+
+
+def _linear_position(value: float, low: float, high: float, extent: int) -> int:
+    span = high - low
+    if span == 0:
+        return 0
+    return round((value - low) / span * (extent - 1))
+
+
+def ascii_chart(
+    title: str,
+    series: typing.Sequence[Series],
+    width: int = 68,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "bytes",
+    y_label: str = "us",
+) -> str:
+    """Render curves as an ASCII chart (log axes by default, like Figs 6-8)."""
+    points = [point for _label, _glyph, data in series for point in data]
+    if not points:
+        return f"{title}\n(no data)"
+    x_low = min(x for x, _y in points)
+    x_high = max(x for x, _y in points)
+    y_low = min(y for _x, y in points)
+    y_high = max(y for _x, y in points)
+    x_place = _log_position if log_x else _linear_position
+    y_place = _log_position if log_y else _linear_position
+
+    grid = [[" "] * width for _ in range(height)]
+    for _label, glyph, data in series:
+        for x, y in data:
+            column = x_place(x, x_low, x_high, width)
+            row = height - 1 - y_place(y, y_low, y_high, height)
+            grid[row][column] = glyph
+
+    def fmt(value: float) -> str:
+        if value >= 1e6:
+            return f"{value / 1e6:.3g}M"
+        if value >= 1e3:
+            return f"{value / 1e3:.3g}K"
+        return f"{value:.3g}"
+
+    lines = [title]
+    top_label = f"{fmt(y_high)} {y_label}"
+    bottom_label = f"{fmt(y_low)} {y_label}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    x_axis = f"{fmt(x_low)} {x_label}".ljust(width // 2) + f"{fmt(x_high)} {x_label}".rjust(
+        width // 2
+    )
+    lines.append(" " * (margin + 1) + x_axis)
+    legend = "   ".join(f"{glyph}={label}" for label, glyph, _data in series)
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

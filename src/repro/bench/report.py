@@ -1,0 +1,56 @@
+"""Plain-text series/table output mirroring the paper's figures.
+
+Benchmarks print the same rows the paper plots — one line per message size,
+one column per processor count or per stack — so a run of
+``pytest benchmarks/ --benchmark-only -s`` reads like the evaluation section.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["format_bytes", "format_us", "table", "print_table"]
+
+
+def format_bytes(nbytes: int) -> str:
+    """Human-readable byte count (8B, 4KB, 8MB)."""
+    if nbytes >= 1024 * 1024 and nbytes % (1024 * 1024) == 0:
+        return f"{nbytes // (1024 * 1024)}MB"
+    if nbytes >= 1024 and nbytes % 1024 == 0:
+        return f"{nbytes // 1024}KB"
+    return f"{nbytes}B"
+
+
+def format_us(seconds: float) -> str:
+    """Microseconds with sensible precision."""
+    us = seconds * 1e6
+    if us >= 10000:
+        return f"{us:,.0f}"
+    if us >= 100:
+        return f"{us:.1f}"
+    return f"{us:.2f}"
+
+
+def table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[typing.Any]],
+) -> str:
+    """Fixed-width table as a string."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[typing.Any]],
+) -> None:
+    """Print a titled table (benchmarks call this under ``-s``)."""
+    print(f"\n== {title} ==")
+    print(table(headers, rows))

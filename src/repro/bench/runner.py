@@ -1,0 +1,151 @@
+"""Measurement harness: build stacks, time collectives in simulated time.
+
+Mirrors the paper's protocol (§3): each data point is the average execution
+time of repeated back-to-back calls of one operation (the paper used 1000
+calls; the simulator is deterministic so a handful suffices — consecutive
+calls still exercise buffer alternation and cross-call pipelining), on a
+16-tasks-per-node cluster, with the ``sum`` operator over ``double``
+elements for the reductions.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.core import SRM, SRMConfig
+from repro.errors import ConfigurationError
+from repro.machine import ClusterSpec, CostModel, Machine
+from repro.mpi.collectives import IbmMpi, Mpich
+from repro.mpi.ops import SUM, ReduceOp
+
+__all__ = ["STACKS", "build", "time_operation", "Measurement"]
+
+#: Stack registry: name -> builder.
+STACKS = ("srm", "ibm", "mpich")
+
+
+def build(
+    stack: str,
+    spec: ClusterSpec,
+    cost: CostModel | None = None,
+    srm_config: SRMConfig | None = None,
+    seed: int = 0,
+) -> tuple[Machine, typing.Any]:
+    """Build a fresh machine plus the named collective stack on it.
+
+    Each stack gets its own machine so per-stack cost tuning (MPICH's
+    layering overheads) and persistent state never leak across comparisons.
+    """
+    base = cost if cost is not None else CostModel.ibm_sp_colony()
+    if stack == "srm":
+        machine = Machine(spec, cost=base, seed=seed)
+        return machine, SRM(machine, config=srm_config)
+    if stack == "ibm":
+        machine = Machine(spec, cost=IbmMpi.tune_cost(base), seed=seed)
+        return machine, IbmMpi(machine)
+    if stack == "mpich":
+        machine = Machine(spec, cost=Mpich.tune_cost(base), seed=seed)
+        return machine, Mpich(machine)
+    raise ConfigurationError(f"unknown stack {stack!r}; expected one of {STACKS}")
+
+
+class Measurement:
+    """One timed data point."""
+
+    __slots__ = ("stack", "operation", "nbytes", "total_tasks", "seconds", "repeats")
+
+    def __init__(self, stack: str, operation: str, nbytes: int, total_tasks: int, seconds: float, repeats: int) -> None:
+        self.stack = stack
+        self.operation = operation
+        self.nbytes = nbytes
+        self.total_tasks = total_tasks
+        self.seconds = seconds
+        self.repeats = repeats
+
+    @property
+    def microseconds(self) -> float:
+        return self.seconds * 1e6
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.stack} {self.operation} {self.nbytes}B P={self.total_tasks}: "
+            f"{self.microseconds:.2f}us>"
+        )
+
+
+def _element_count(nbytes: int) -> int:
+    """Reductions run on doubles (§3); round byte sizes to whole elements."""
+    return max(1, nbytes // 8)
+
+
+def time_operation(
+    machine: Machine,
+    stack: typing.Any,
+    operation: str,
+    nbytes: int = 0,
+    root: int = 0,
+    op: ReduceOp = SUM,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Measurement:
+    """Average simulated seconds per call of ``operation`` on ``stack``.
+
+    ``warmup`` unmeasured calls first populate buffers/plans (and leave the
+    double-buffer cursors mid-stream, like the paper's 1000-call loops),
+    then ``repeats`` back-to-back calls are timed as one launch.
+    """
+    if operation not in ("broadcast", "reduce", "allreduce", "barrier"):
+        raise ConfigurationError(f"unknown operation {operation!r}")
+    if repeats < 1 or warmup < 0:
+        raise ConfigurationError("repeats must be >= 1 and warmup >= 0")
+    total = machine.spec.total_tasks
+
+    if operation == "broadcast":
+        buffers = {rank: np.zeros(max(1, nbytes), dtype=np.uint8) for rank in range(total)}
+        buffers[root][:] = 7
+
+        def body(task, _iteration):
+            yield from stack.broadcast(task, buffers[task.rank], root=root)
+
+    elif operation == "reduce":
+        count = _element_count(nbytes)
+        sources = {rank: np.full(count, float(rank + 1)) for rank in range(total)}
+        destination = np.zeros(count)
+
+        def body(task, _iteration):
+            dst = destination if task.rank == root else None
+            yield from stack.reduce(task, sources[task.rank], dst, op, root=root)
+
+    elif operation == "allreduce":
+        count = _element_count(nbytes)
+        sources = {rank: np.full(count, float(rank + 1)) for rank in range(total)}
+        destinations = {rank: np.zeros(count) for rank in range(total)}
+
+        def body(task, _iteration):
+            yield from stack.allreduce(task, sources[task.rank], destinations[task.rank], op)
+
+    else:  # barrier
+
+        def body(task, _iteration):
+            yield from stack.barrier(task)
+
+    def looped(iterations):
+        def program(task):
+            for iteration in range(iterations):
+                yield from body(task, iteration)
+
+        return program
+
+    if warmup:
+        machine.launch(looped(warmup))
+    result = machine.launch(looped(repeats))
+    return Measurement(
+        stack=getattr(stack, "name", type(stack).__name__),
+        operation=operation,
+        nbytes=nbytes,
+        total_tasks=total,
+        seconds=result.elapsed / repeats,
+        repeats=repeats,
+    )

@@ -1,0 +1,103 @@
+"""Sweep grids and memoized measurements for the paper's figures.
+
+The paper's evaluation grid (§3): message sizes 8 B – 8 MB on log scale,
+processor counts 16–256 at 16 tasks per node.  The default grid here is a
+subsample that keeps ``pytest benchmarks/`` quick; set ``REPRO_BENCH_FULL=1``
+for the full paper grid.
+
+Measurements are memoized per (stack, operation, size, nodes) because the
+figure benchmarks overlap heavily (Fig. 6 and Fig. 9 share every broadcast
+point).
+"""
+
+from __future__ import annotations
+
+import os
+import typing
+
+from repro.bench.runner import Measurement, build, time_operation
+from repro.machine import ClusterSpec
+
+__all__ = [
+    "full_grid",
+    "message_sizes",
+    "small_message_sizes",
+    "processor_configs",
+    "measure",
+    "ratio_percent",
+    "clear_cache",
+]
+
+KB = 1024
+MB = 1024 * 1024
+
+_FULL_SIZES = [8, 32, 128, 512, 2 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB, 256 * KB, MB, 4 * MB, 8 * MB]
+_QUICK_SIZES = [8, 512, 8 * KB, 64 * KB, MB, 8 * MB]
+_FULL_SMALL = [8, 32, 128, 512, 2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB]
+_QUICK_SMALL = [8, 512, 4 * KB, 16 * KB, 64 * KB]
+_FULL_CONFIGS = [1, 2, 4, 8, 16]  # nodes, at 16 tasks each -> P = 16..256
+_QUICK_CONFIGS = [1, 4, 16]
+
+
+def full_grid() -> bool:
+    """True when the full paper grid was requested via REPRO_BENCH_FULL."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def message_sizes() -> list[int]:
+    """The 8 B – 8 MB sweep of Figures 6–11."""
+    return list(_FULL_SIZES if full_grid() else _QUICK_SIZES)
+
+
+def small_message_sizes() -> list[int]:
+    """The <= 64 KB sub-range of the Figures 6–8 right panels."""
+    return list(_FULL_SMALL if full_grid() else _QUICK_SMALL)
+
+
+def processor_configs() -> list[int]:
+    """Node counts at 16 tasks/node (P = 16 ... 256)."""
+    return list(_FULL_CONFIGS if full_grid() else _QUICK_CONFIGS)
+
+
+_CACHE: dict[tuple, Measurement] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized measurements (used by tests)."""
+    _CACHE.clear()
+
+
+def measure(
+    stack: str,
+    operation: str,
+    nbytes: int = 0,
+    nodes: int = 16,
+    tasks_per_node: int = 16,
+    repeats: int | None = None,
+) -> Measurement:
+    """One memoized data point on the paper's standard cluster shape."""
+    if repeats is None:
+        repeats = 2 if nbytes >= MB else 3
+    key = (stack, operation, nbytes, nodes, tasks_per_node, repeats)
+    if key not in _CACHE:
+        spec = ClusterSpec(nodes=nodes, tasks_per_node=tasks_per_node)
+        machine, collectives = build(stack, spec)
+        _CACHE[key] = time_operation(
+            machine, collectives, operation, nbytes, repeats=repeats, warmup=1
+        )
+    return _CACHE[key]
+
+
+def ratio_percent(numerator: Measurement, denominator: Measurement) -> float:
+    """The paper's comparison metric: T_a / T_b * 100% (lower = faster)."""
+    return 100.0 * numerator.seconds / denominator.seconds
+
+
+def sweep(
+    stack: str,
+    operation: str,
+    sizes: typing.Iterable[int],
+    nodes: int,
+) -> list[Measurement]:
+    """Measure ``operation`` across ``sizes`` on one cluster shape."""
+    return [measure(stack, operation, nbytes, nodes) for nbytes in sizes]

@@ -1,0 +1,278 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figures [--fig N] [--full]``
+    Regenerate the paper's evaluation figures as tables + ASCII charts.
+``compare --op broadcast --bytes 16384 --nodes 8 --tasks 16``
+    One data point across all three stacks.
+``trace --op broadcast --bytes 8192 --nodes 2 --tasks 4 [--stack srm]``
+    Run one collective and print the per-rank timeline.
+``info``
+    Dump the calibrated cost model and the default SRM configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import typing
+
+from repro.bench import (
+    build,
+    format_bytes,
+    format_us,
+    measure,
+    message_sizes,
+    print_table,
+    processor_configs,
+    ratio_percent,
+    small_message_sizes,
+    time_operation,
+)
+from repro.bench.figures import ascii_chart
+from repro.bench.trace import Tracer
+from repro.core import SRMConfig
+from repro.machine import ClusterSpec, CostModel
+
+__all__ = ["main"]
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print("Cost model (CostModel.ibm_sp_colony):")
+    for field in dataclasses.fields(CostModel):
+        value = getattr(CostModel.ibm_sp_colony(), field.name)
+        print(f"  {field.name:28s} {value}")
+    print("\nSRM configuration (SRMConfig defaults):")
+    for field in dataclasses.fields(SRMConfig):
+        print(f"  {field.name:28s} {getattr(SRMConfig(), field.name)}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = ClusterSpec(nodes=args.nodes, tasks_per_node=args.tasks)
+    rows = []
+    baseline = None
+    for name in ("srm", "ibm", "mpich"):
+        machine, stack = build(name, spec)
+        seconds = time_operation(
+            machine, stack, args.op, args.bytes, repeats=args.repeats
+        ).seconds
+        if baseline is None:
+            baseline = seconds
+        rows.append(
+            [
+                getattr(stack, "name", name),
+                format_us(seconds),
+                f"{100 * seconds / baseline:.1f}%",
+            ]
+        )
+    print_table(
+        f"{args.op} of {format_bytes(args.bytes)} on {spec}",
+        ["stack", "time [us]", "vs SRM"],
+        rows,
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.mpi.ops import SUM
+
+    spec = ClusterSpec(nodes=args.nodes, tasks_per_node=args.tasks)
+    machine, stack = build(args.stack, spec)
+    tracer = Tracer(machine)
+    traced = tracer.wrap(stack)
+    total = spec.total_tasks
+    count = max(1, args.bytes // 8)
+    buffers = {r: np.zeros(max(1, args.bytes), np.uint8) for r in range(total)}
+    sources = {r: np.full(count, float(r + 1)) for r in range(total)}
+    outs = {r: np.zeros(count) for r in range(total)}
+    destination = np.zeros(count)
+
+    def program(task):
+        if args.op == "broadcast":
+            yield from traced.broadcast(task, buffers[task.rank], root=0)
+        elif args.op == "reduce":
+            dst = destination if task.rank == 0 else None
+            yield from traced.reduce(task, sources[task.rank], dst, SUM, root=0)
+        elif args.op == "allreduce":
+            yield from traced.allreduce(task, sources[task.rank], outs[task.rank], SUM)
+        else:
+            yield from traced.barrier(task)
+
+    machine.launch(program)
+    print(tracer.timeline(args.op, width=args.width))
+    totals = tracer.totals()
+    print(
+        f"\ntotals: {totals['copies']} copies ({format_bytes(totals['bytes_copied'])}), "
+        f"{totals['reduce_ops']} operator passes, {totals['puts']} puts, "
+        f"{totals['mpi_sends']} MPI sends, {totals['interrupts']} interrupts"
+    )
+    print(f"makespan: {format_us(tracer.makespan(args.op))} us")
+    return 0
+
+
+_FIGURES: dict[int, str] = {
+    6: "broadcast",
+    7: "reduce",
+    8: "allreduce",
+    12: "barrier",
+}
+
+
+def _figure_absolute(number: int, operation: str) -> None:
+    configs = processor_configs()
+    sizes = message_sizes()
+    series = []
+    glyphs = "ox+*#"
+    for index, nodes in enumerate(configs):
+        data = [
+            (float(nbytes), measure("srm", operation, nbytes, nodes).microseconds)
+            for nbytes in sizes
+        ]
+        series.append((f"P={16 * nodes}", glyphs[index % len(glyphs)], data))
+    print(ascii_chart(f"Fig. {number}: SRM {operation} time (log-log)", series))
+
+
+def _figure_comparison(number: int, operation: str) -> None:
+    nodes = processor_configs()[-1]
+    series = []
+    for name, glyph in (("srm", "s"), ("ibm", "i"), ("mpich", "m")):
+        data = [
+            (float(nbytes), measure(name, operation, nbytes, nodes).microseconds)
+            for nbytes in small_message_sizes()
+        ]
+        series.append((name, glyph, data))
+    print(
+        ascii_chart(
+            f"Fig. {number} (right): {operation} <=64KB at P={16 * nodes}", series
+        )
+    )
+
+
+def _figure_barrier() -> None:
+    series = []
+    for name, glyph in (("srm", "s"), ("ibm", "i"), ("mpich", "m")):
+        data = [
+            (float(16 * nodes), measure(name, "barrier", 0, nodes).microseconds)
+            for nodes in processor_configs()
+        ]
+        series.append((name, glyph, data))
+    print(
+        ascii_chart(
+            "Fig. 12: barrier vs processors",
+            series,
+            log_x=False,
+            log_y=False,
+            x_label="procs",
+        )
+    )
+
+
+def _figure_ratio(number: int, operation: str) -> None:
+    nodes = processor_configs()[-1]
+    rows = []
+    for nbytes in message_sizes():
+        srm = measure("srm", operation, nbytes, nodes)
+        rows.append(
+            [
+                format_bytes(nbytes),
+                f"{ratio_percent(srm, measure('ibm', operation, nbytes, nodes)):.1f}%",
+                f"{ratio_percent(srm, measure('mpich', operation, nbytes, nodes)):.1f}%",
+            ]
+        )
+    print_table(
+        f"Fig. {number}: SRM {operation} ratio at P={16 * nodes} (lower is better)",
+        ["size", "vs IBM MPI", "vs MPICH"],
+        rows,
+    )
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
+    if args.full:
+        os.environ["REPRO_BENCH_FULL"] = "1"
+    wanted = [args.fig] if args.fig else [6, 7, 8, 9, 10, 11, 12]
+    for number in wanted:
+        if number in (6, 7, 8):
+            _figure_absolute(number, _FIGURES[number])
+            _figure_comparison(number, _FIGURES[number])
+        elif number in (9, 10, 11):
+            _figure_ratio(number, _FIGURES[number - 3])
+        elif number == 12:
+            _figure_barrier()
+        else:
+            print(f"unknown figure {number}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.export import collect_sweep, to_csv, to_json
+
+    if args.full:
+        os.environ["REPRO_BENCH_FULL"] = "1"
+    operations = tuple(op.strip() for op in args.ops.split(",") if op.strip())
+    measurements = collect_sweep(operations=operations)
+    text = to_csv(measurements) if args.format == "csv" else to_json(measurements)
+    if args.out == "-":
+        print(text, end="")
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(measurements)} measurements to {args.out}")
+    return 0
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SRM collectives reproduction (IPDPS 2003) — figure and tool runner",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figures = commands.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument("--fig", type=int, default=None, help="only this figure number")
+    figures.add_argument("--full", action="store_true", help="use the full paper grid")
+    figures.set_defaults(handler=_cmd_figures)
+
+    compare = commands.add_parser("compare", help="one data point across all stacks")
+    compare.add_argument("--op", default="broadcast", choices=["broadcast", "reduce", "allreduce", "barrier"])
+    compare.add_argument("--bytes", type=int, default=16384)
+    compare.add_argument("--nodes", type=int, default=8)
+    compare.add_argument("--tasks", type=int, default=16)
+    compare.add_argument("--repeats", type=int, default=3)
+    compare.set_defaults(handler=_cmd_compare)
+
+    trace = commands.add_parser("trace", help="run one collective and print its timeline")
+    trace.add_argument("--op", default="broadcast", choices=["broadcast", "reduce", "allreduce", "barrier"])
+    trace.add_argument("--bytes", type=int, default=8192)
+    trace.add_argument("--nodes", type=int, default=2)
+    trace.add_argument("--tasks", type=int, default=4)
+    trace.add_argument("--stack", default="srm", choices=["srm", "ibm", "mpich"])
+    trace.add_argument("--width", type=int, default=72)
+    trace.set_defaults(handler=_cmd_trace)
+
+    info = commands.add_parser("info", help="dump cost model + SRM configuration")
+    info.set_defaults(handler=_cmd_info)
+
+    export = commands.add_parser("export", help="write the sweep grid as CSV/JSON")
+    export.add_argument("--format", default="csv", choices=["csv", "json"])
+    export.add_argument("--out", default="-", help="output path ('-' = stdout)")
+    export.add_argument("--ops", default="broadcast,reduce,allreduce,barrier")
+    export.add_argument("--full", action="store_true", help="use the full paper grid")
+    export.set_defaults(handler=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

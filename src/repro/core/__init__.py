@@ -1,0 +1,7 @@
+"""The paper's contribution: SRM (Shared-Remote-Memory) collectives."""
+
+from repro.core.config import SRMConfig
+from repro.core.context import SRMContext
+from repro.core.srm import SRM
+
+__all__ = ["SRM", "SRMConfig", "SRMContext"]

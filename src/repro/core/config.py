@@ -1,0 +1,113 @@
+"""SRM tuning parameters (the paper's protocol switch points, §2.4).
+
+Defaults follow the paper exactly where it gives numbers:
+
+* broadcast switches from the shared-buffer ("small") protocol to the
+  direct-to-user-buffer ("large") protocol at **64 KB**;
+* small-protocol messages above **8 KB** are split into **4 KB** chunks and
+  pipelined through the two shared buffers;
+* allreduce uses recursive-doubling pairwise exchange up to **16 KB** and
+  the pipelined reduce+broadcast beyond it (Fig. 5).
+
+The large-message streaming chunk and the put window are implementation
+parameters (the paper tunes them implicitly through LAPI); both are exposed
+for the pipeline ablation (bench A4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SRMConfig"]
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class SRMConfig:
+    """All knobs of the SRM collectives."""
+
+    #: Broadcast small→large protocol switch (bytes).  Paper: 64 KB.
+    small_protocol_max: int = 64 * KB
+    #: Small-protocol messages above this are chunked and pipelined. Paper: 8 KB.
+    pipeline_min: int = 8 * KB
+    #: Chunk size for small-protocol pipelining.  Paper: 4 KB.
+    pipeline_chunk: int = 4 * KB
+    #: Chunk size for large-message streaming (network + SMP pipelining).
+    large_chunk: int = 64 * KB
+    #: In-flight put window per inter-node child for streamed large messages.
+    put_window: int = 4
+    #: Allreduce recursive-doubling cutoff.  Paper: 16 KB.
+    allreduce_exchange_max: int = 16 * KB
+    #: Allgather (extension op) switches from gather+broadcast (latency-
+    #: optimal) to the hierarchical master ring (bandwidth-optimal) once the
+    #: concatenated result exceeds this many bytes.
+    allgather_ring_min: int = 64 * KB
+    #: Large-message allreduce algorithm: "pipeline" (the paper's Fig. 5
+    #: reduce+broadcast overlap) or "ring" (hierarchical reduce-scatter +
+    #: allgather over the masters — a future-work alternative; see
+    #: bench_abl_ring_allreduce.py for the trade-off).
+    allreduce_algorithm: str = "pipeline"
+    #: Tree family between node masters (§2.1 found binomial best).
+    inter_family: str = "binomial"
+    #: Tree family for the intra-node reduce.
+    intra_reduce_family: str = "binomial"
+    #: Disable LAPI interrupts while inside a small-message collective (§2.3).
+    manage_interrupts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pipeline_chunk < 1 or self.large_chunk < 1:
+            raise ConfigurationError("chunk sizes must be >= 1 byte")
+        if self.pipeline_min < self.pipeline_chunk:
+            raise ConfigurationError(
+                "pipeline_min must be >= pipeline_chunk "
+                f"({self.pipeline_min} < {self.pipeline_chunk})"
+            )
+        if self.small_protocol_max < self.pipeline_min:
+            raise ConfigurationError("small_protocol_max must be >= pipeline_min")
+        if self.put_window < 1:
+            raise ConfigurationError("put_window must be >= 1")
+        if self.allreduce_exchange_max < 0:
+            raise ConfigurationError("allreduce_exchange_max must be >= 0")
+        if self.allreduce_algorithm not in ("pipeline", "ring"):
+            raise ConfigurationError(
+                f"allreduce_algorithm must be 'pipeline' or 'ring', "
+                f"got {self.allreduce_algorithm!r}"
+            )
+
+    @property
+    def shared_buffer_bytes(self) -> int:
+        """Size of each shared buffer: must hold the largest single chunk."""
+        return max(
+            self.large_chunk, self.pipeline_min, self.allreduce_exchange_max, self.pipeline_chunk
+        )
+
+    def evolve(self, **changes) -> "SRMConfig":
+        """Copy with ``changes`` applied (for ablations)."""
+        return replace(self, **changes)
+
+    # -- chunking rules ------------------------------------------------------
+
+    def is_large(self, nbytes: int) -> bool:
+        """True when the direct-to-user-buffer broadcast protocol applies."""
+        return nbytes > self.small_protocol_max
+
+    def chunks(self, nbytes: int) -> list[tuple[int, int]]:
+        """Split a message into ``(offset, size)`` pipeline chunks.
+
+        * ``<= pipeline_min`` — one chunk (no pipelining, §2.2);
+        * ``<= small_protocol_max`` — 4 KB chunks through shared buffers;
+        * larger — streaming chunks of ``large_chunk``.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"message size must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return [(0, 0)]
+        if nbytes <= self.pipeline_min:
+            return [(0, nbytes)]
+        chunk = self.large_chunk if self.is_large(nbytes) else self.pipeline_chunk
+        return [
+            (offset, min(chunk, nbytes - offset)) for offset in range(0, nbytes, chunk)
+        ]

@@ -1,0 +1,21 @@
+"""Intra-node (shared memory) halves of the SRM collectives (paper §2.2)."""
+
+from repro.core.smp.barrier import smp_barrier
+from repro.core.smp.broadcast import (
+    announce_slot,
+    drain_slot,
+    fill_slot,
+    smp_broadcast_chunk,
+    tree_smp_broadcast_chunk,
+)
+from repro.core.smp.reduce import smp_reduce_chunk
+
+__all__ = [
+    "smp_barrier",
+    "smp_broadcast_chunk",
+    "tree_smp_broadcast_chunk",
+    "smp_reduce_chunk",
+    "fill_slot",
+    "announce_slot",
+    "drain_slot",
+]

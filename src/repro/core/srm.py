@@ -1,0 +1,182 @@
+"""The public SRM collectives facade.
+
+One :class:`SRM` instance per machine owns the persistent shared-memory and
+counter state (:class:`~repro.core.context.SRMContext`) and exposes the four
+operations of the paper as per-rank generators, mirroring the baseline
+stacks' interface so benchmarks can swap implementations.
+
+Usage inside a simulated program::
+
+    srm = SRM(machine)
+
+    def program(task):
+        data = np.zeros(1024) if task.rank else np.arange(1024.0)
+        yield from srm.broadcast(task, data, root=0)
+        ...
+
+    machine.launch(program)
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.core.config import SRMConfig
+from repro.core.context import SRMContext
+from repro.core.internode.allreduce import srm_allreduce
+from repro.core.internode.barrier import srm_barrier
+from repro.core.internode.broadcast import srm_broadcast
+from repro.core.internode.gatherscatter import (
+    srm_allgather,
+    srm_alltoall,
+    srm_gather,
+    srm_scatter,
+)
+from repro.core.internode.reduce import srm_reduce
+from repro.core.internode.scan import srm_scan
+from repro.machine.cluster import Machine
+from repro.mpi.ops import SUM, ReduceOp
+from repro.sim.process import ProcessGenerator
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.cluster import Task
+
+__all__ = ["SRM"]
+
+
+class SRM:
+    """Shared-Remote-Memory collective operations (the paper's system).
+
+    ``group`` restricts the operations to an arbitrary subset of ranks (an
+    MPI sub-communicator) — the §5 extension.  Each SRM instance owns its
+    own shared buffers and counters, so disjoint groups can run collectives
+    concurrently on one machine.
+    """
+
+    name = "SRM"
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: SRMConfig | None = None,
+        group: typing.Iterable[int] | None = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config if config is not None else SRMConfig()
+        self.ctx = SRMContext(machine, self.config, members=group)
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """The participating global ranks (all ranks by default)."""
+        return self.ctx.members
+
+    def broadcast(self, task: "Task", buffer: np.ndarray, root: int = 0) -> ProcessGenerator:
+        """Broadcast ``buffer`` from ``root`` to every member (in place)."""
+        self.ctx.check_member(task.rank)
+        yield from srm_broadcast(self.ctx, task, buffer, root)
+
+    def reduce(
+        self,
+        task: "Task",
+        src: np.ndarray,
+        dst: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+        root: int = 0,
+    ) -> ProcessGenerator:
+        """Combine every member's ``src`` with ``op`` into ``root``'s ``dst``."""
+        self.ctx.check_member(task.rank)
+        yield from srm_reduce(self.ctx, task, src, dst, op, root)
+
+    def allreduce(
+        self,
+        task: "Task",
+        src: np.ndarray,
+        dst: np.ndarray,
+        op: ReduceOp = SUM,
+    ) -> ProcessGenerator:
+        """Combine every member's ``src`` into every member's ``dst``."""
+        self.ctx.check_member(task.rank)
+        yield from srm_allreduce(self.ctx, task, src, dst, op)
+
+    def barrier(self, task: "Task") -> ProcessGenerator:
+        """Synchronize all members."""
+        self.ctx.check_member(task.rank)
+        yield from srm_barrier(self.ctx, task)
+
+    # -- block-data extensions (RMA-native, see internode/gatherscatter) --
+
+    def scatter(
+        self,
+        task: "Task",
+        sendbuf: np.ndarray | None,
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ) -> ProcessGenerator:
+        """Distribute ``root``'s blocks: member *i* receives block *i*."""
+        self.ctx.check_member(task.rank)
+        yield from srm_scatter(self.ctx, task, sendbuf, recvbuf, root)
+
+    def gather(
+        self,
+        task: "Task",
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        root: int = 0,
+    ) -> ProcessGenerator:
+        """Collect every member's block into ``root``'s ``recvbuf``."""
+        self.ctx.check_member(task.rank)
+        yield from srm_gather(self.ctx, task, sendbuf, recvbuf, root)
+
+    def allgather(
+        self,
+        task: "Task",
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray,
+    ) -> ProcessGenerator:
+        """Every member's block, concatenated, delivered to every member."""
+        self.ctx.check_member(task.rank)
+        yield from srm_allgather(self.ctx, task, sendbuf, recvbuf)
+
+    def alltoall(
+        self,
+        task: "Task",
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray,
+    ) -> ProcessGenerator:
+        """Personalized exchange: my block *j* reaches member *j*."""
+        self.ctx.check_member(task.rank)
+        yield from srm_alltoall(self.ctx, task, sendbuf, recvbuf)
+
+    def scan(
+        self,
+        task: "Task",
+        src: np.ndarray,
+        dst: np.ndarray,
+        op: ReduceOp = SUM,
+    ) -> ProcessGenerator:
+        """Inclusive prefix reduction in group-member order."""
+        self.ctx.check_member(task.rank)
+        yield from srm_scan(self.ctx, task, src, dst, op)
+
+    def reduce_scatter(
+        self,
+        task: "Task",
+        src: np.ndarray,
+        dst: np.ndarray,
+        op: ReduceOp = SUM,
+    ) -> ProcessGenerator:
+        """Block-regular reduce-scatter: ``dst`` gets my block of the sum
+        (composed from reduce + the RMA-native scatter)."""
+        members = self.ctx.members
+        if src.nbytes != dst.nbytes * len(members):
+            raise ValueError("reduce_scatter src must hold one block per member")
+        root = self.ctx.group_root
+        scratch = (
+            np.empty(src.reshape(-1).shape, dtype=src.dtype)
+            if task.rank == root
+            else None
+        )
+        yield from self.reduce(task, src, scratch, op, root=root)
+        yield from self.scatter(task, scratch, dst, root=root)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the SRM reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised for violations of the discrete-event simulation protocol.
+
+    Examples: a process yields something that is not an Event, an event is
+    triggered twice, or the engine is asked to run backwards in time.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid machine, cost-model, or algorithm configuration."""
+
+
+class TopologyError(ConfigurationError):
+    """Raised for invalid cluster shapes (e.g. zero nodes, bad rank)."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a communication substrate is used incorrectly.
+
+    Examples: a LAPI put into a buffer that was never registered, an MPI
+    receive into a buffer smaller than the matched message, a shared-memory
+    flag wait that can never be satisfied.
+    """
+
+
+class TruncationError(ProtocolError):
+    """Raised when a received message is larger than the posted buffer."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still blocked."""

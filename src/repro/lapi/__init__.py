@@ -1,0 +1,11 @@
+"""RMA substrate: a LAPI-like one-sided communication interface.
+
+Puts, gets, active messages, atomic read-modify-write, completion counters,
+and interrupt management — the inter-node half of the SRM protocols
+(paper §2.3).
+"""
+
+from repro.lapi.counters import LapiCounter
+from repro.lapi.endpoint import LapiEndpoint
+
+__all__ = ["LapiCounter", "LapiEndpoint"]

@@ -1,0 +1,292 @@
+"""A LAPI-like RMA endpoint per task.
+
+Implements the slice of LAPI (paper §2.3, ref [20]) that SRM is built on:
+
+* ``put`` — one-sided remote write with **origin**, **target**, and
+  **completion** counters, non-blocking at the origin;
+* ``get`` — one-sided remote read;
+* ``rmw`` — remote atomic fetch-and-add;
+* ``amsend`` — active message with a target-side header handler;
+* ``waitcntr`` / ``probe`` — blocking wait and explicit progress polling;
+* interrupt management — ``set_interrupts(False)`` disables the receive
+  interrupt; arriving data then stalls until the target enters a LAPI call
+  (the "implicit cooperation of the destination task" of §2.3).  With
+  interrupts enabled, data landing while the target is busy elsewhere pays
+  :attr:`CostModel.interrupt_cost`.
+
+Origin-counter semantics: this simulator snapshots the source buffer at
+injection, so the origin counter fires once the origin-side overhead is paid
+(the source buffer is logically reusable immediately after).  Target and
+completion counters fire with full delivery timing, including the
+cooperation rules above — those are the counters SRM's flow control uses.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.lapi.counters import LapiCounter
+from repro.machine.memops import raw_copyto
+from repro.machine.network import network_transfer
+from repro.sim.process import Process, ProcessGenerator
+from repro.sim.resources import Gate
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.cluster import Task
+
+__all__ = ["LapiEndpoint"]
+
+
+class LapiStats:
+    """Per-endpoint communication counters for audits and tests."""
+
+    __slots__ = ("puts", "gets", "amsends", "rmws", "bytes_put", "bytes_got", "stalled_deliveries")
+
+    def __init__(self) -> None:
+        self.puts = 0
+        self.gets = 0
+        self.amsends = 0
+        self.rmws = 0
+        self.bytes_put = 0
+        self.bytes_got = 0
+        self.stalled_deliveries = 0
+
+
+class LapiEndpoint:
+    """The RMA interface of one task."""
+
+    def __init__(self, task: "Task") -> None:
+        self.task = task
+        self.engine = task.engine
+        self.cost = task.cost
+        self.interrupts_enabled = True
+        self.stats = LapiStats()
+        self._call_depth = 0
+        self._in_call = Gate(self.engine, open=False, name=f"lapi-call[{task.rank}]")
+
+    # -- counters -------------------------------------------------------------
+
+    def counter(self, initial: int = 0, name: str | None = None) -> LapiCounter:
+        """Create a counter owned by this task."""
+        return LapiCounter(self.engine, initial, name=name or f"cntr[{self.task.rank}]")
+
+    # -- call/interrupt state ---------------------------------------------------
+
+    @property
+    def in_lapi_call(self) -> bool:
+        """True while this task is blocked or polling inside a LAPI call."""
+        return self._call_depth > 0
+
+    def set_interrupts(self, enabled: bool) -> None:
+        """Enable/disable the arrival interrupt (§2.3 interrupt management)."""
+        self.interrupts_enabled = bool(enabled)
+        if enabled:
+            # Pending deliveries stalled on cooperation can now interrupt.
+            self._in_call.open()
+            if self._call_depth == 0:
+                self._in_call.close()
+
+    def _enter_call(self) -> None:
+        self._call_depth += 1
+        self._in_call.open()
+
+    def _exit_call(self) -> None:
+        self._call_depth -= 1
+        if self._call_depth == 0:
+            self._in_call.close()
+
+    def waitcntr(self, counter: LapiCounter, value: int = 1) -> ProcessGenerator:
+        """``LAPI_Waitcntr``: block until ``counter >= value``, then consume.
+
+        While blocked the task counts as *inside a LAPI call*, so the
+        dispatcher polls and incoming data completes without interrupts.
+        """
+        self._enter_call()
+        try:
+            pending = counter.event_at(value)
+            if pending is not None:
+                yield pending
+            counter.consume(value)
+        finally:
+            self._exit_call()
+
+    def watch(self, counter: LapiCounter, threshold: int) -> ProcessGenerator:
+        """Block until ``counter >= threshold`` *without* consuming it.
+
+        Models a ``LAPI_Getcntr`` polling loop: the task counts as inside a
+        LAPI call (so deliveries need no interrupt), and the cumulative value
+        stays readable by other watchers — used by the streamed large-message
+        protocols where one arrival counter feeds several consumers.
+        """
+        self._enter_call()
+        try:
+            pending = counter.event_at(threshold)
+            if pending is not None:
+                yield pending
+        finally:
+            self._exit_call()
+
+    def probe(self) -> ProcessGenerator:
+        """One explicit progress poll (``LAPI_Probe``): releases any
+        stalled deliveries targeting this task, costing one dispatch."""
+        self._enter_call()
+        try:
+            yield self.engine.timeout(self.cost.rma_target_overhead)
+        finally:
+            self._exit_call()
+
+    def _cooperate(self) -> ProcessGenerator:
+        """Target-side delivery gate: free when polling, priced when
+        interrupting, stalled when interrupts are off and nobody polls."""
+        if self.in_lapi_call:
+            return
+        if self.interrupts_enabled:
+            self.task.stats.interrupts += 1
+            yield self.engine.timeout(self.cost.interrupt_cost)
+            return
+        self.stats.stalled_deliveries += 1
+        yield self._in_call.wait()
+
+    # -- one-sided operations -----------------------------------------------
+
+    def put(
+        self,
+        target_rank: int,
+        dst: np.ndarray,
+        src: np.ndarray,
+        *,
+        origin_counter: LapiCounter | None = None,
+        target_counter: LapiCounter | None = None,
+        completion_counter: LapiCounter | None = None,
+    ) -> typing.Generator[typing.Any, typing.Any, Process]:
+        """Non-blocking remote write of ``src`` into ``dst`` at ``target_rank``.
+
+        Blocks the origin only for the injection overhead; returns the
+        delivery :class:`Process` (joinable event) for callers that need full
+        completion without a counter.
+        """
+        if dst.nbytes != src.nbytes:
+            raise ProtocolError(
+                f"put size mismatch: dst {dst.nbytes} B vs src {src.nbytes} B"
+            )
+        machine = self.task.machine
+        target_task = machine.task(target_rank)
+        nbytes = int(src.nbytes)
+        snapshot = np.array(src, copy=True)
+        yield self.engine.timeout(self.cost.rma_origin_overhead)
+        if origin_counter is not None:
+            origin_counter.increment()
+        self.stats.puts += 1
+        self.stats.bytes_put += nbytes
+
+        def deliver() -> ProcessGenerator:
+            if target_task.node is self.task.node:
+                # Intra-node put short-circuits through the memory bus.
+                if nbytes > 0:
+                    yield self.task.node.bus.transfer(nbytes)
+            else:
+                yield from network_transfer(self.task.node, target_task.node, nbytes)
+                yield from target_task.lapi._cooperate()
+                yield self.engine.timeout(self.cost.rma_target_overhead)
+            raw_copyto(dst, snapshot)
+            if target_counter is not None:
+                target_counter.increment()
+                yield self.engine.timeout(self.cost.counter_update_cost)
+            if completion_counter is not None:
+                if target_task.node is not self.task.node:
+                    # The completion ack rides back and needs the *origin's*
+                    # cooperation to be dispatched.
+                    yield self.engine.timeout(self.cost.net_latency)
+                    yield from self._cooperate()
+                completion_counter.increment()
+
+        return self.engine.process(deliver(), name=f"put:{self.task.rank}->{target_rank}")
+
+    def get(
+        self,
+        target_rank: int,
+        dst: np.ndarray,
+        src: np.ndarray,
+        *,
+        completion_counter: LapiCounter | None = None,
+    ) -> typing.Generator[typing.Any, typing.Any, Process]:
+        """Non-blocking remote read of ``src`` at ``target_rank`` into ``dst``."""
+        if dst.nbytes != src.nbytes:
+            raise ProtocolError(
+                f"get size mismatch: dst {dst.nbytes} B vs src {src.nbytes} B"
+            )
+        machine = self.task.machine
+        target_task = machine.task(target_rank)
+        nbytes = int(dst.nbytes)
+        yield self.engine.timeout(self.cost.rma_origin_overhead)
+        self.stats.gets += 1
+        self.stats.bytes_got += nbytes
+
+        def deliver() -> ProcessGenerator:
+            if target_task.node is self.task.node:
+                if nbytes > 0:
+                    yield self.task.node.bus.transfer(nbytes)
+            else:
+                # Request travels out (latency only) ...
+                yield self.engine.timeout(self.cost.net_latency)
+                yield from target_task.lapi._cooperate()
+                yield self.engine.timeout(self.cost.rma_target_overhead)
+                # ... data streams back.
+                yield from network_transfer(target_task.node, self.task.node, nbytes)
+            raw_copyto(dst, src)
+            if completion_counter is not None:
+                completion_counter.increment()
+
+        return self.engine.process(deliver(), name=f"get:{self.task.rank}<-{target_rank}")
+
+    def rmw_add(
+        self,
+        target_rank: int,
+        counter: LapiCounter,
+        amount: int = 1,
+    ) -> ProcessGenerator:
+        """Blocking remote atomic fetch-and-add on a counter owned by
+        ``target_rank``; returns the pre-update value."""
+        machine = self.task.machine
+        target_task = machine.task(target_rank)
+        self.stats.rmws += 1
+        yield self.engine.timeout(self.cost.rma_origin_overhead)
+        if target_task.node is not self.task.node:
+            yield self.engine.timeout(self.cost.net_latency)
+            yield from target_task.lapi._cooperate()
+            yield self.engine.timeout(self.cost.rma_target_overhead)
+        old_value = counter.value
+        counter.increment(amount)
+        if target_task.node is not self.task.node:
+            yield self.engine.timeout(self.cost.net_latency)
+            yield from self._cooperate()
+        return old_value
+
+    def amsend(
+        self,
+        target_rank: int,
+        handler: typing.Callable[["Task", typing.Any], None],
+        payload: typing.Any = None,
+        nbytes: int = 0,
+    ) -> typing.Generator[typing.Any, typing.Any, Process]:
+        """Active message: run ``handler(target_task, payload)`` at the target
+        once the header (plus ``nbytes`` of payload timing) arrives."""
+        machine = self.task.machine
+        target_task = machine.task(target_rank)
+        yield self.engine.timeout(self.cost.rma_origin_overhead)
+        self.stats.amsends += 1
+
+        def deliver() -> ProcessGenerator:
+            if target_task.node is self.task.node:
+                if nbytes > 0:
+                    yield self.task.node.bus.transfer(nbytes)
+            else:
+                yield from network_transfer(self.task.node, target_task.node, nbytes)
+                yield from target_task.lapi._cooperate()
+                yield self.engine.timeout(self.cost.rma_target_overhead)
+            handler(target_task, payload)
+
+        return self.engine.process(deliver(), name=f"am:{self.task.rank}->{target_rank}")

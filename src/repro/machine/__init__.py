@@ -1,0 +1,17 @@
+"""The simulated SMP cluster: topology, cost model, nodes, and tasks."""
+
+from repro.machine.cluster import LaunchResult, Machine, Node, Task
+from repro.machine.costmodel import CostModel, EagerLimitTable
+from repro.machine.network import network_transfer
+from repro.machine.spec import ClusterSpec
+
+__all__ = [
+    "ClusterSpec",
+    "CostModel",
+    "EagerLimitTable",
+    "Machine",
+    "Node",
+    "Task",
+    "LaunchResult",
+    "network_transfer",
+]

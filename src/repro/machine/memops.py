@@ -1,0 +1,20 @@
+"""Raw byte-level copy helper shared by the data-moving substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["raw_copyto"]
+
+
+def raw_copyto(dst: np.ndarray, src: np.ndarray) -> None:
+    """Copy ``src``'s bytes into ``dst`` regardless of dtype.
+
+    Simulated transports move bytes between typed user buffers and untyped
+    shared-memory/staging regions; a dtype-aware ``np.copyto`` would *cast*
+    values instead.  Sizes must already match (callers validate).
+    """
+    if dst.dtype == src.dtype:
+        np.copyto(dst, src)
+    else:
+        np.copyto(dst.reshape(-1).view(np.uint8), src.reshape(-1).view(np.uint8))

@@ -1,0 +1,128 @@
+"""Cluster shape: nodes, tasks per node, and the rank↔node mapping.
+
+Ranks are assigned block-wise, the way POE laid out MPI tasks on the IBM SP:
+node 0 holds ranks ``0 .. p0-1``, node 1 the next ``p1`` ranks, and so on.
+Non-uniform node sizes are supported because the paper explicitly discusses
+the 15-of-16-CPUs configuration used to dodge system daemons (§2.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import typing
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of a simulated SMP cluster.
+
+    Parameters
+    ----------
+    nodes:
+        Number of SMP nodes.
+    tasks_per_node:
+        Either one task count used for every node, or a sequence giving each
+        node's task count.
+    """
+
+    nodes: int
+    tasks_per_node: int | typing.Sequence[int] = 16
+    _sizes: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _starts: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise TopologyError(f"cluster needs >= 1 node, got {self.nodes}")
+        if isinstance(self.tasks_per_node, int):
+            sizes = (self.tasks_per_node,) * self.nodes
+        else:
+            sizes = tuple(int(size) for size in self.tasks_per_node)
+            if len(sizes) != self.nodes:
+                raise TopologyError(
+                    f"tasks_per_node has {len(sizes)} entries for {self.nodes} nodes"
+                )
+        if any(size < 1 for size in sizes):
+            raise TopologyError(f"every node needs >= 1 task, got sizes {sizes}")
+        starts_list: list[int] = [0]
+        for size in sizes[:-1]:
+            starts_list.append(starts_list[-1] + size)
+        object.__setattr__(self, "_sizes", sizes)
+        object.__setattr__(self, "_starts", tuple(starts_list))
+
+    # -- global properties --------------------------------------------------
+
+    @property
+    def total_tasks(self) -> int:
+        """Total number of tasks (MPI ranks) across the cluster."""
+        return self._starts[-1] + self._sizes[-1]
+
+    @property
+    def uniform(self) -> bool:
+        """True when every node runs the same number of tasks."""
+        return len(set(self._sizes)) == 1
+
+    @property
+    def node_sizes(self) -> tuple[int, ...]:
+        """Per-node task counts."""
+        return self._sizes
+
+    def tree_height_bound(self) -> int:
+        """``ceil(log2 P)`` — the binomial-tree height bound of paper eq. (1)."""
+        return max(1, math.ceil(math.log2(self.total_tasks))) if self.total_tasks > 1 else 0
+
+    # -- rank <-> node mapping ----------------------------------------------
+
+    def check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.total_tasks:
+            raise TopologyError(f"rank {rank} outside [0, {self.total_tasks})")
+        return rank
+
+    def check_node(self, node: int) -> int:
+        if not 0 <= node < self.nodes:
+            raise TopologyError(f"node {node} outside [0, {self.nodes})")
+        return node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        self.check_rank(rank)
+        return bisect.bisect_right(self._starts, rank) - 1
+
+    def local_index(self, rank: int) -> int:
+        """Position of ``rank`` within its node (0 = first task on the node)."""
+        return rank - self._starts[self.node_of(rank)]
+
+    def node_size(self, node: int) -> int:
+        """Number of tasks on ``node``."""
+        return self._sizes[self.check_node(node)]
+
+    def first_rank(self, node: int) -> int:
+        """Lowest global rank on ``node``."""
+        return self._starts[self.check_node(node)]
+
+    def ranks_on_node(self, node: int) -> range:
+        """All global ranks hosted on ``node``."""
+        start = self.first_rank(node)
+        return range(start, start + self._sizes[node])
+
+    def rank_at(self, node: int, local_index: int) -> int:
+        """Global rank of the ``local_index``-th task on ``node``."""
+        if not 0 <= local_index < self.node_size(node):
+            raise TopologyError(
+                f"local index {local_index} outside node {node} of size {self.node_size(node)}"
+            )
+        return self._starts[node] + local_index
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """True when two ranks share an SMP node (can use shared memory)."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def __str__(self) -> str:
+        if self.uniform:
+            return f"{self.nodes} nodes x {self._sizes[0]} tasks = {self.total_tasks} tasks"
+        return f"{self.nodes} nodes, sizes {self._sizes} = {self.total_tasks} tasks"

@@ -1,0 +1,8 @@
+"""Baseline message-passing collective stacks (the paper's comparison
+points, §3)."""
+
+from repro.mpi.collectives.base import MpiCollectives
+from repro.mpi.collectives.ibm import IbmMpi
+from repro.mpi.collectives.mpich import Mpich
+
+__all__ = ["MpiCollectives", "IbmMpi", "Mpich"]

@@ -1,0 +1,31 @@
+"""The "IBM MPI"-like baseline stack.
+
+Models the vendor MPI of the paper's testbed: binomial broadcast/reduce,
+recursive-doubling allreduce and barrier, and — the §2.3 behaviour the paper
+calls out — an eager limit that *shrinks with the task count* to bound the
+P−1 eager-buffer pools (the default
+:class:`~repro.machine.costmodel.EagerLimitTable`).
+"""
+
+from __future__ import annotations
+
+from repro.machine.costmodel import CostModel
+from repro.mpi.collectives.base import MpiCollectives
+
+__all__ = ["IbmMpi"]
+
+
+class IbmMpi(MpiCollectives):
+    """IBM-MPI-like collectives (the tuned vendor baseline)."""
+
+    name = "IBM MPI"
+    allreduce_algorithm = "recursive_doubling"
+    #: Vendor tuning: RD for latency-bound sizes, reduce+bcast beyond.
+    allreduce_rd_max = 32 * 1024
+    barrier_algorithm = "recursive_doubling"
+    tree_family = "binomial"
+
+    @classmethod
+    def tune_cost(cls, cost: CostModel) -> CostModel:
+        """The vendor stack runs at the machine's baseline protocol costs."""
+        return cost

@@ -1,0 +1,39 @@
+"""The "MPICH"-like baseline stack.
+
+Models ANL's MPICH running over MPL/MPCI on the SP (§3): the same binomial
+broadcast/reduce trees (§2.1 notes MPICH used them), allreduce composed as
+reduce + broadcast (the MPICH 1.2 implementation), a dissemination barrier,
+and a *fixed* eager limit with heavier per-message software overheads — the
+extra MPL→MPCI layering that made MPICH generally slower than the vendor
+MPI in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.machine.costmodel import CostModel, EagerLimitTable
+from repro.mpi.collectives.base import MpiCollectives
+
+__all__ = ["Mpich"]
+
+#: Software-stack multiplier for the extra MPL/MPCI layering.
+_LAYERING_FACTOR = 1.6
+
+
+class Mpich(MpiCollectives):
+    """MPICH-over-MPL-like collectives (the open-source baseline)."""
+
+    name = "MPICH"
+    allreduce_algorithm = "reduce_broadcast"
+    barrier_algorithm = "dissemination"
+    tree_family = "binomial"
+
+    @classmethod
+    def tune_cost(cls, cost: CostModel) -> CostModel:
+        """Heavier per-message software path + a fixed 8 KB eager limit."""
+        return cost.evolve(
+            mpi_send_overhead=cost.mpi_send_overhead * _LAYERING_FACTOR,
+            mpi_recv_overhead=cost.mpi_recv_overhead * _LAYERING_FACTOR,
+            mpi_unexpected_overhead=cost.mpi_unexpected_overhead * _LAYERING_FACTOR,
+            rendezvous_control_cost=cost.rendezvous_control_cost * _LAYERING_FACTOR,
+            eager_limits=EagerLimitTable.fixed(8 * 1024),
+        )

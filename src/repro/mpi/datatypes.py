@@ -1,0 +1,51 @@
+"""MPI-flavoured datatype names mapped onto NumPy dtypes.
+
+The paper's experiments use the ``double`` datatype with the ``sum`` operator
+(§3); the helpers here keep benchmark code readable and validate buffer
+compatibility at the API boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DOUBLE", "FLOAT", "INT", "LONG", "BYTE", "dtype_of", "element_count"]
+
+DOUBLE = np.dtype(np.float64)
+FLOAT = np.dtype(np.float32)
+INT = np.dtype(np.int32)
+LONG = np.dtype(np.int64)
+BYTE = np.dtype(np.uint8)
+
+_NAMES = {
+    "double": DOUBLE,
+    "float": FLOAT,
+    "int": INT,
+    "long": LONG,
+    "byte": BYTE,
+}
+
+
+def dtype_of(name: str | np.dtype) -> np.dtype:
+    """Resolve an MPI-style type name or NumPy dtype to a NumPy dtype."""
+    if isinstance(name, np.dtype):
+        return name
+    try:
+        return _NAMES[str(name).lower()]
+    except KeyError:
+        try:
+            return np.dtype(name)
+        except TypeError:
+            raise ConfigurationError(f"unknown datatype {name!r}") from None
+
+
+def element_count(nbytes: int, dtype: np.dtype) -> int:
+    """Number of ``dtype`` elements in ``nbytes``, validating divisibility."""
+    itemsize = np.dtype(dtype).itemsize
+    if nbytes % itemsize:
+        raise ConfigurationError(
+            f"{nbytes} bytes is not a whole number of {dtype} elements"
+        )
+    return nbytes // itemsize

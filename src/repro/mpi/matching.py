@@ -1,0 +1,122 @@
+"""MPI message envelopes and tag matching.
+
+Implements the matching machinery whose *cost* is one of the overheads SRM
+eliminates (paper §1: "tag matching and dealing with early message
+arrivals"): a posted-receive queue and an unexpected-message queue per task,
+matched on ``(source, tag)`` with wildcards, preserving MPI's pairwise
+ordering guarantee (queues are FIFO and scanned in order).
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.sim.events import Event
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "PostedRecv", "MatchQueues", "Status"]
+
+#: Wildcard source for :meth:`MpiEndpoint.recv`.
+ANY_SOURCE = -1
+#: Wildcard tag for :meth:`MpiEndpoint.recv`.
+ANY_TAG = -1
+
+
+class Status:
+    """Completion information returned by a receive."""
+
+    __slots__ = ("source", "tag", "nbytes")
+
+    def __init__(self, source: int, tag: int, nbytes: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:
+        return f"<Status source={self.source} tag={self.tag} nbytes={self.nbytes}>"
+
+
+class Envelope:
+    """An in-flight message as seen by the receiver's matching engine.
+
+    ``kind`` is ``"eager"`` (payload snapshot attached, sender already done)
+    or ``"rts"`` (rendezvous request-to-send; ``cts`` must be fired with the
+    matched :class:`PostedRecv` so the sender can stream into the user
+    buffer, and ``done`` fires when the data lands).
+    """
+
+    __slots__ = ("kind", "source", "tag", "nbytes", "data", "cts", "done")
+
+    def __init__(
+        self,
+        kind: str,
+        source: int,
+        tag: int,
+        nbytes: int,
+        data: np.ndarray | None = None,
+        cts: Event | None = None,
+        done: Event | None = None,
+    ) -> None:
+        assert kind in ("eager", "rts")
+        self.kind = kind
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+        self.data = data
+        self.cts = cts
+        self.done = done
+
+    def matches(self, source: int, tag: int) -> bool:
+        """True when this envelope satisfies a receive for (source, tag)."""
+        return (source in (ANY_SOURCE, self.source)) and (tag in (ANY_TAG, self.tag))
+
+
+class PostedRecv:
+    """A receive posted before its message arrived."""
+
+    __slots__ = ("source", "tag", "buffer", "done")
+
+    def __init__(self, source: int, tag: int, buffer: np.ndarray, done: Event) -> None:
+        self.source = source
+        self.tag = tag
+        self.buffer = buffer
+        self.done = done
+
+    def accepts(self, envelope: Envelope) -> bool:
+        """True when ``envelope`` satisfies this posted receive."""
+        return (self.source in (ANY_SOURCE, envelope.source)) and (
+            self.tag in (ANY_TAG, envelope.tag)
+        )
+
+
+class MatchQueues:
+    """The posted and unexpected queues of one task."""
+
+    def __init__(self) -> None:
+        self.posted: list[PostedRecv] = []
+        self.unexpected: list[Envelope] = []
+
+    def match_arrival(self, envelope: Envelope) -> PostedRecv | None:
+        """Match an arriving message; queues it as unexpected on a miss."""
+        for index, posted in enumerate(self.posted):
+            if posted.accepts(envelope):
+                return self.posted.pop(index)
+        self.unexpected.append(envelope)
+        return None
+
+    def match_receive(self, source: int, tag: int) -> Envelope | None:
+        """Match a newly-posted receive against the unexpected queue."""
+        for index, envelope in enumerate(self.unexpected):
+            if envelope.matches(source, tag):
+                return self.unexpected.pop(index)
+        return None
+
+    def post(self, posted: PostedRecv) -> None:
+        """Queue a receive that found no unexpected message."""
+        self.posted.append(posted)
+
+    @property
+    def depth(self) -> tuple[int, int]:
+        """(posted, unexpected) queue depths, for tests and diagnostics."""
+        return (len(self.posted), len(self.unexpected))

@@ -1,0 +1,128 @@
+"""Reduction operators for reduce/allreduce.
+
+Each operator is an in-place combiner ``op(dst, src)`` meaning
+``dst = dst OP src`` element-wise, implemented with NumPy out-parameters so
+no temporaries are allocated (the simulated cost is charged separately by
+:meth:`Task.reduce_into`).
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReduceOp", "SUM", "PROD", "MIN", "MAX", "LAND", "LOR", "BAND", "BOR", "by_name"]
+
+
+class ReduceOp:
+    """A named, associative, commutative element-wise reduction."""
+
+    def __init__(
+        self,
+        name: str,
+        combine: typing.Callable[[np.ndarray, np.ndarray], None],
+        identity: typing.Callable[[np.dtype], typing.Any],
+        ternary: typing.Callable[[np.ndarray, np.ndarray, np.ndarray], None] | None = None,
+    ) -> None:
+        self.name = name
+        self._combine = combine
+        self._identity = identity
+        self._ternary = ternary
+
+    def __call__(self, dst: np.ndarray, src: np.ndarray) -> None:
+        """``dst = dst OP src`` in place."""
+        self._combine(dst, src)
+
+    def combine_into(self, dst: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
+        """``dst = a OP b`` in one streaming pass (``dst`` may alias ``a``).
+
+        This is how the SRM reduce root writes its final combine straight
+        into the destination buffer instead of an intermediate (§4's
+        comparison against Sistare et al.).
+        """
+        if self._ternary is not None:
+            self._ternary(dst, a, b)
+        else:  # pragma: no cover - all shipped ops define a ternary form
+            np.copyto(dst, a)
+            self._combine(dst, b)
+
+    def identity_for(self, dtype: np.dtype) -> typing.Any:
+        """The operator's identity element for ``dtype`` (for rooted inits)."""
+        return self._identity(np.dtype(dtype))
+
+    def __repr__(self) -> str:
+        return f"<ReduceOp {self.name}>"
+
+
+def _min_identity(dtype: np.dtype) -> typing.Any:
+    if np.issubdtype(dtype, np.floating):
+        return np.inf
+    return np.iinfo(dtype).max
+
+
+def _max_identity(dtype: np.dtype) -> typing.Any:
+    if np.issubdtype(dtype, np.floating):
+        return -np.inf
+    return np.iinfo(dtype).min
+
+
+SUM = ReduceOp(
+    "sum", lambda d, s: np.add(d, s, out=d), lambda _dt: 0, lambda d, a, b: np.add(a, b, out=d)
+)
+PROD = ReduceOp(
+    "prod",
+    lambda d, s: np.multiply(d, s, out=d),
+    lambda _dt: 1,
+    lambda d, a, b: np.multiply(a, b, out=d),
+)
+MIN = ReduceOp(
+    "min",
+    lambda d, s: np.minimum(d, s, out=d),
+    _min_identity,
+    lambda d, a, b: np.minimum(a, b, out=d),
+)
+MAX = ReduceOp(
+    "max",
+    lambda d, s: np.maximum(d, s, out=d),
+    _max_identity,
+    lambda d, a, b: np.maximum(a, b, out=d),
+)
+LAND = ReduceOp(
+    "land",
+    lambda d, s: np.copyto(d, (d.astype(bool) & s.astype(bool)).astype(d.dtype)),
+    lambda _dt: 1,
+    lambda d, a, b: np.copyto(d, (a.astype(bool) & b.astype(bool)).astype(d.dtype)),
+)
+LOR = ReduceOp(
+    "lor",
+    lambda d, s: np.copyto(d, (d.astype(bool) | s.astype(bool)).astype(d.dtype)),
+    lambda _dt: 0,
+    lambda d, a, b: np.copyto(d, (a.astype(bool) | b.astype(bool)).astype(d.dtype)),
+)
+BAND = ReduceOp(
+    "band",
+    lambda d, s: np.bitwise_and(d, s, out=d),
+    lambda _dt: ~0,
+    lambda d, a, b: np.bitwise_and(a, b, out=d),
+)
+BOR = ReduceOp(
+    "bor",
+    lambda d, s: np.bitwise_or(d, s, out=d),
+    lambda _dt: 0,
+    lambda d, a, b: np.bitwise_or(a, b, out=d),
+)
+
+_REGISTRY = {op.name: op for op in (SUM, PROD, MIN, MAX, LAND, LOR, BAND, BOR)}
+
+
+def by_name(name: str) -> ReduceOp:
+    """Look an operator up by name (``"sum"``, ``"max"``, ...)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown reduce op {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

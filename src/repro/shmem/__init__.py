@@ -1,0 +1,12 @@
+"""Shared-memory substrate: segments, flags, and double buffers.
+
+The intra-node half of the SRM protocols (paper §2.2): real NumPy-backed
+shared regions, spin/yield-costed synchronization flags, and the two-buffer
+pipelining structure of Fig. 3.
+"""
+
+from repro.shmem.buffers import DoubleBuffer
+from repro.shmem.flags import FlagArray, SharedFlag
+from repro.shmem.segment import SharedSegment
+
+__all__ = ["SharedSegment", "SharedFlag", "FlagArray", "DoubleBuffer"]

@@ -1,0 +1,178 @@
+"""Shared-memory synchronization flags with a spin/yield cost model.
+
+The paper's SMP protocols coordinate through flags in shared memory — one
+READY flag per process per broadcast buffer (§2.2, Fig. 3), one check-in flag
+per process for the barrier.  Waiting is *spinning*, and §2.4 adds the twist
+that after a bounded number of unsuccessful spins a process must yield its
+time slice so the LAPI threads can run.
+
+The cost model here:
+
+* **setting** a flag costs :attr:`CostModel.flag_set_cost` (store + fence);
+* a waiter whose condition is already true pays one
+  :attr:`CostModel.flag_poll_interval` to observe it;
+* a waiter that blocked and was satisfied within
+  ``spin_yield_threshold × flag_poll_interval`` pays one poll interval of
+  detection delay (it was spinning when the flag flipped);
+* a waiter that blocked longer has yielded the CPU: it pays
+  :attr:`CostModel.yield_cost` of wake-up delay instead, and the yield is
+  counted in :class:`~repro.machine.cluster.TaskStats` (this is what makes
+  "spin forever" configurations measurably bad, the effect §2.4 describes).
+
+Flags are single-writer in all SRM protocols (each flag has a well-defined
+owner for each phase), so observing the value after the wake-up event is
+race-free; the implementation still re-checks the predicate for safety.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ProtocolError
+from repro.sim.events import Event
+from repro.sim.process import ProcessGenerator
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.cluster import Node, Task
+
+__all__ = ["SharedFlag", "FlagArray"]
+
+Predicate = typing.Callable[[int], bool]
+
+
+class SharedFlag:
+    """One integer flag in node shared memory (its own cache line)."""
+
+    def __init__(self, node: "Node", initial: int = 0, name: str | None = None) -> None:
+        self.node = node
+        self.engine = node.machine.engine
+        self.cost = node.machine.cost
+        self.name = name
+        self._value = int(initial)
+        self._waiters: list[tuple[Predicate, Event]] = []
+
+    @property
+    def value(self) -> int:
+        """Current flag value (reading is free; waiting is not)."""
+        return self._value
+
+    # -- writer side --------------------------------------------------------
+
+    def set(self, task: "Task", value: int) -> ProcessGenerator:
+        """Timed store of ``value`` by ``task`` (``yield from``)."""
+        if task.node is not self.node:
+            raise ProtocolError(
+                f"task {task.rank} on node {task.node.index} cannot touch flag "
+                f"on node {self.node.index}: flags are node-local shared memory"
+            )
+        yield self.engine.timeout(self.cost.flag_set_cost)
+        self.store(value)
+
+    def store(self, value: int) -> None:
+        """Untimed store — used when the cost is accounted elsewhere (e.g. a
+        LAPI put that lands data and flips a flag in one DMA)."""
+        self._value = int(value)
+        if not self._waiters:
+            return
+        still_waiting: list[tuple[Predicate, Event]] = []
+        for predicate, event in self._waiters:
+            if predicate(self._value):
+                event.succeed(self._value)
+            else:
+                still_waiting.append((predicate, event))
+        self._waiters = still_waiting
+
+    # -- waiter side ---------------------------------------------------------
+
+    def _event_when(self, predicate: Predicate) -> Event | None:
+        """Internal: event firing when ``predicate(value)`` becomes true, or
+        ``None`` if it is already true.  No detection cost included."""
+        if predicate(self._value):
+            return None
+        event = Event(self.engine, name=f"flag:{self.name}")
+        self._waiters.append((predicate, event))
+        return event
+
+    def wait_for(self, task: "Task", predicate: Predicate) -> ProcessGenerator:
+        """Spin until ``predicate(value)`` holds; returns the observed value."""
+        if task.node is not self.node:
+            raise ProtocolError(
+                f"task {task.rank} cannot spin on a flag of node {self.node.index}"
+            )
+        start = self.engine.now
+        pending = self._event_when(predicate)
+        if pending is not None:
+            yield pending
+        yield self.engine.timeout(self._detection_delay(task, start))
+        if not predicate(self._value):  # pragma: no cover - single-writer protocols
+            raise ProtocolError(f"flag {self.name!r} changed under a waiter")
+        return self._value
+
+    def wait_value(self, task: "Task", value: int) -> ProcessGenerator:
+        """Spin until the flag equals ``value``."""
+        result = yield from self.wait_for(task, lambda v: v == value)
+        return result
+
+    def _detection_delay(self, task: "Task", wait_start: float) -> float:
+        waited = self.engine.now - wait_start
+        spin_window = self.cost.spin_yield_threshold * self.cost.flag_poll_interval
+        if waited > spin_window:
+            task.stats.yields += 1
+            return self.cost.yield_cost
+        return self.cost.flag_poll_interval
+
+    def __repr__(self) -> str:
+        return f"<SharedFlag {self.name!r}={self._value} node={self.node.index}>"
+
+
+class FlagArray:
+    """A bank of per-task flags, each on its own cache line (paper §2.2)."""
+
+    def __init__(self, node: "Node", count: int, initial: int = 0, name: str = "flags") -> None:
+        if count < 1:
+            raise ProtocolError(f"FlagArray needs >= 1 flag, got {count}")
+        self.node = node
+        self.engine = node.machine.engine
+        self.cost = node.machine.cost
+        self.name = name
+        self.flags = [SharedFlag(node, initial, name=f"{name}[{i}]") for i in range(count)]
+
+    def __len__(self) -> int:
+        return len(self.flags)
+
+    def __getitem__(self, index: int) -> SharedFlag:
+        return self.flags[index]
+
+    def values(self) -> list[int]:
+        """Snapshot of all flag values."""
+        return [flag.value for flag in self.flags]
+
+    def set_all(self, task: "Task", value: int, skip: int | None = None) -> ProcessGenerator:
+        """Timed store of ``value`` into every flag (optionally skipping one).
+
+        This is the barrier master's "reset the value of flags for all the
+        other processes" step (§2.2): the master pays one store per flag.
+        """
+        indices = [i for i in range(len(self.flags)) if i != skip]
+        yield task.engine.timeout(self.cost.flag_set_cost * len(indices))
+        for index in indices:
+            self.flags[index].store(value)
+
+    def wait_all(self, task: "Task", predicate: Predicate, skip: int | None = None) -> ProcessGenerator:
+        """Spin until ``predicate`` holds on every flag (optionally skip one).
+
+        Models the barrier master polling the whole flag bank: one detection
+        delay total once the last flag satisfies the predicate.
+        """
+        start = self.engine.now
+        pending = [
+            event
+            for index, flag in enumerate(self.flags)
+            if index != skip
+            for event in [flag._event_when(predicate)]
+            if event is not None
+        ]
+        if pending:
+            yield self.engine.all_of(pending)
+        # Reuse the single-flag detection model for the final observation.
+        yield self.engine.timeout(self.flags[0]._detection_delay(task, start))

@@ -1,0 +1,76 @@
+"""Shared-memory segments on an SMP node.
+
+A :class:`SharedSegment` is a region of node memory visible to every task on
+the node — the simulated analogue of a System-V/POSIX shared segment.  It is
+backed by one real NumPy byte array; protocols carve typed views out of it,
+so a timed copy into a view is immediately visible to every other task on the
+node (the property SRM exploits to avoid re-copies, paper §2.4).
+
+Remote (LAPI) puts also target views of these segments or of user buffers;
+see :mod:`repro.lapi`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.cluster import Node
+
+__all__ = ["SharedSegment"]
+
+
+class SharedSegment:
+    """A named, byte-addressable shared region on one node."""
+
+    def __init__(self, node: "Node", nbytes: int, name: str = "segment") -> None:
+        if nbytes < 0:
+            raise ProtocolError(f"segment size must be >= 0, got {nbytes}")
+        self.node = node
+        self.name = name
+        self._data = np.zeros(nbytes, dtype=np.uint8)
+        self._allocated = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Total capacity of the segment."""
+        return self._data.nbytes
+
+    @property
+    def remaining(self) -> int:
+        """Bytes not yet handed out by :meth:`allocate`."""
+        return self.nbytes - self._allocated
+
+    def allocate(self, nbytes: int, dtype: typing.Any = np.uint8) -> np.ndarray:
+        """Carve the next ``nbytes`` out of the segment as a ``dtype`` view.
+
+        Allocations are 64-byte aligned so that independently-allocated flags
+        land on distinct cache lines (paper §2.2, shared-memory barrier).
+        """
+        aligned_start = (self._allocated + 63) & ~63
+        if aligned_start + nbytes > self.nbytes:
+            raise ProtocolError(
+                f"segment {self.name!r} exhausted: need {nbytes} B at offset "
+                f"{aligned_start}, capacity {self.nbytes} B"
+            )
+        view = self._data[aligned_start : aligned_start + nbytes].view(dtype)
+        self._allocated = aligned_start + nbytes
+        return view
+
+    def view(self, offset: int, nbytes: int, dtype: typing.Any = np.uint8) -> np.ndarray:
+        """A typed window at an explicit offset (for RMA-style addressing)."""
+        if offset < 0 or offset + nbytes > self.nbytes:
+            raise ProtocolError(
+                f"view [{offset}, {offset + nbytes}) outside segment of {self.nbytes} B"
+            )
+        return self._data[offset : offset + nbytes].view(dtype)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SharedSegment {self.name!r} node={self.node.index} "
+            f"{self._allocated}/{self.nbytes} B used>"
+        )

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic process/event engine in the style of SimPy, plus the
+two contention resources (FIFO slots and fluid-flow shared bandwidth) that
+model the hardware domains of an SMP cluster.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+from repro.sim.resources import FifoResource, Gate, SharedBandwidth
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "ProcessGenerator",
+    "FifoResource",
+    "SharedBandwidth",
+    "Gate",
+]

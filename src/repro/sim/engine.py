@@ -1,0 +1,147 @@
+"""The discrete-event simulation engine.
+
+The engine owns the simulation clock and the time-ordered event queue.  It is
+deliberately tiny: everything else (resources, protocols, machines) is built
+from :class:`~repro.sim.events.Event` and :class:`~repro.sim.process.Process`.
+
+Determinism: ties at the same timestamp are broken by scheduling order, so a
+simulation is a pure function of its inputs (plus any explicitly seeded RNG
+the caller passes into models).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Event queue + clock for one simulation run."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._active_process: Process | None = None
+        #: Number of events processed; useful for budget checks in tests.
+        self.events_processed = 0
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction helpers --------------------------------------
+
+    def event(self, name: str | None = None) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: typing.Any = None, name: str | None = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: ProcessGenerator, name: str | None = None) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Iterable[Event]) -> AllOf:
+        """Event firing when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Iterable[Event]) -> AnyOf:
+        """Event firing when the first of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {event!r} {delay!r}s in the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+
+    def call_at(self, when: float, callback: typing.Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute time ``when`` (>= now).
+
+        Returns the underlying timeout event; the callback runs when it is
+        processed.  Used by fluid-flow resources to (re)schedule completions.
+        """
+        if when < self._now:
+            # Tolerate floating-point residue from rate arithmetic; anything
+            # beyond rounding noise is a real causality bug.
+            if self._now - when > 1e-12 * max(1.0, abs(self._now)):
+                raise SimulationError(f"call_at({when!r}) is in the past (now={self._now!r})")
+            when = self._now
+        timer = self.timeout(when - self._now, name="call_at")
+        timer.add_callback(lambda _event: callback())
+        return timer
+
+    # -- main loop ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        if not self._queue:
+            raise DeadlockError("event queue is empty")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue went backwards in time")
+        self._now = when
+        self.events_processed += 1
+        event._fire()
+
+    def run(self, until: float | Event | None = None) -> typing.Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the queue drains.
+            ``float`` — run until the clock reaches that time.
+            ``Event`` — run until that event is processed; returns its value
+            (raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            stop_event.defuse()
+            while not stop_event.processed:
+                if not self._queue:
+                    raise DeadlockError(
+                        f"event queue drained before {stop_event!r} fired; "
+                        "a process is blocked forever"
+                    )
+                self.step()
+            if stop_event.ok:
+                return stop_event.value
+            raise typing.cast(BaseException, stop_event.value)
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline!r}) is in the past")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __repr__(self) -> str:
+        return f"<Engine t={self._now:.6g} queued={len(self._queue)}>"

@@ -1,0 +1,99 @@
+"""Generator-based simulated processes.
+
+A *process* is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  Yielding an event suspends the process until the event fires; the
+event's value is sent back into the generator (or its exception thrown in).
+A process is itself an event that fires when the generator returns, carrying
+the generator's return value — so processes can wait on each other with a
+plain ``yield child_process`` (a *join*).
+
+Sub-operations compose with ``yield from``: a collective algorithm is a
+generator that delegates to substrate generators (shared-memory copies, RMA
+puts) which in turn yield engine primitives.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+__all__ = ["Process", "ProcessGenerator"]
+
+#: Type alias for the generators accepted by :meth:`Engine.process`.
+ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class Process(Event):
+    """A running simulated process; fires when its generator returns."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str | None = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        super().__init__(engine, name=name or getattr(generator, "__name__", None))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick the generator off at the current simulation time, but through
+        # the event queue so that creation order defines execution order.
+        bootstrap = Event(engine, name="process-start")
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not returned or raised."""
+        return not self.triggered
+
+    @property
+    def waiting_on(self) -> Event | None:
+        """The event this process is currently blocked on, if any."""
+        return self._waiting_on
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator by one step with ``event``'s outcome."""
+        self._waiting_on = None
+        self.engine._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                event.defuse()
+                target = self._generator.throw(typing.cast(BaseException, event.value))
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.engine._active_process = None
+
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}, which is not an Event; "
+                "use `yield from` for sub-operations"
+            )
+            # Surface at the process level so joiners see it.
+            self.fail(error)
+            return
+        if target.processed:
+            # Joining something already finished (e.g. an isend that completed
+            # before the matching recv returned): mirror its outcome through a
+            # fresh zero-delay event so the generator resumes next tick.
+            mirror = Event(self.engine, name=f"join:{target.name}")
+            if target.ok:
+                mirror.succeed(target.value)
+            else:
+                mirror.fail(typing.cast(BaseException, target.value))
+            target = mirror
+        self._waiting_on = target
+        target.add_callback(self._resume)

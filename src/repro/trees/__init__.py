@@ -1,0 +1,39 @@
+"""Communication-tree library: families (§2.1) and SMP-cluster embedding
+(Fig. 1)."""
+
+from repro.trees.base import RankTree, Tree, map_to_ranks
+from repro.trees.binomial import binomial_rounds, binomial_tree
+from repro.trees.embedding import (
+    TREE_FAMILIES,
+    EmbeddedTrees,
+    build_tree,
+    group_embedding,
+    naive_rank_tree,
+    smp_embedding,
+)
+from repro.trees.families import (
+    binary_tree,
+    delayed_tree,
+    fibonacci_tree,
+    flat_tree,
+    kary_tree,
+)
+
+__all__ = [
+    "Tree",
+    "RankTree",
+    "map_to_ranks",
+    "binomial_tree",
+    "binomial_rounds",
+    "binary_tree",
+    "kary_tree",
+    "flat_tree",
+    "fibonacci_tree",
+    "delayed_tree",
+    "build_tree",
+    "naive_rank_tree",
+    "smp_embedding",
+    "group_embedding",
+    "EmbeddedTrees",
+    "TREE_FAMILIES",
+]

@@ -1,0 +1,185 @@
+"""Tree representations for collective communication graphs.
+
+Two layers:
+
+* :class:`Tree` — a tree over *virtual* participants ``0..size-1`` with the
+  root at 0.  Builders (:mod:`repro.trees.binomial` etc.) produce these.
+* :class:`RankTree` — a tree over *global MPI ranks*, produced by mapping a
+  virtual tree onto an ordering of ranks (:func:`map_to_ranks`).  Collective
+  algorithms walk rank trees.
+
+Children are kept in send order: for a broadcast the root sends to
+``children[0]`` first.  Builders order children by descending subtree size
+(send to the deepest subtree first), the standard choice that keeps tree
+height on the critical path.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, TopologyError
+
+__all__ = ["Tree", "RankTree", "map_to_ranks"]
+
+
+class Tree:
+    """A rooted tree over virtual participants ``0..size-1`` (root = 0)."""
+
+    def __init__(self, parents: typing.Sequence[int | None]) -> None:
+        self.parents: tuple[int | None, ...] = tuple(parents)
+        if not self.parents:
+            raise TopologyError("tree needs at least one participant")
+        if self.parents[0] is not None:
+            raise TopologyError("virtual participant 0 must be the root")
+        self.children: list[list[int]] = [[] for _ in self.parents]
+        for vertex, parent in enumerate(self.parents):
+            if vertex == 0:
+                continue
+            if parent is None or not 0 <= parent < len(self.parents):
+                raise TopologyError(f"vertex {vertex} has invalid parent {parent!r}")
+            self.children[parent].append(vertex)
+        self._validate_connected()
+        self._levels: list[int] | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of participants."""
+        return len(self.parents)
+
+    def _validate_connected(self) -> None:
+        seen = [False] * self.size
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            vertex = stack.pop()
+            for child in self.children[vertex]:
+                if seen[child]:
+                    raise TopologyError(f"vertex {child} reachable twice (cycle)")
+                seen[child] = True
+                count += 1
+                stack.append(child)
+        if count != self.size:
+            raise TopologyError(
+                f"tree disconnected: reached {count} of {self.size} vertices"
+            )
+
+    def level_of(self, vertex: int) -> int:
+        """Depth of ``vertex`` (root = 0)."""
+        if self._levels is None:
+            levels = [0] * self.size
+            stack = [0]
+            while stack:
+                current = stack.pop()
+                for child in self.children[current]:
+                    levels[child] = levels[current] + 1
+                    stack.append(child)
+            self._levels = levels
+        return self._levels[vertex]
+
+    @property
+    def height(self) -> int:
+        """Maximum depth over all participants."""
+        return max(self.level_of(v) for v in range(self.size))
+
+    def subtree_size(self, vertex: int) -> int:
+        """Number of vertices in the subtree rooted at ``vertex``."""
+        total = 1
+        for child in self.children[vertex]:
+            total += self.subtree_size(child)
+        return total
+
+    def sort_children_by_subtree(self) -> "Tree":
+        """Reorder every child list by descending subtree size, in place."""
+        for vertex in range(self.size):
+            self.children[vertex].sort(key=self.subtree_size, reverse=True)
+        return self
+
+    def leaves(self) -> list[int]:
+        """All vertices with no children."""
+        return [v for v in range(self.size) if not self.children[v]]
+
+    def max_degree(self) -> int:
+        """Largest fan-out of any vertex (sizes the SRM buffer pool, §2.3)."""
+        return max(len(kids) for kids in self.children)
+
+    def __repr__(self) -> str:
+        return f"<Tree size={self.size} height={self.height}>"
+
+
+@dataclass
+class RankTree:
+    """A communication tree over global MPI ranks."""
+
+    root: int
+    parent: dict[int, int | None]
+    children: dict[int, list[int]] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.parent.get(self.root, "missing") is not None:
+            raise TopologyError(f"root {self.root} must have parent None")
+
+    @property
+    def ranks(self) -> list[int]:
+        """All participating ranks."""
+        return list(self.parent)
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    def parent_of(self, rank: int) -> int | None:
+        """Parent rank, or None for the root."""
+        try:
+            return self.parent[rank]
+        except KeyError:
+            raise TopologyError(f"rank {rank} is not in this tree") from None
+
+    def children_of(self, rank: int) -> list[int]:
+        """Child ranks in send order."""
+        try:
+            return self.children[rank]
+        except KeyError:
+            raise TopologyError(f"rank {rank} is not in this tree") from None
+
+    def height(self) -> int:
+        """Maximum depth over all ranks."""
+        depth = {self.root: 0}
+        stack = [self.root]
+        while stack:
+            current = stack.pop()
+            for child in self.children[current]:
+                depth[child] = depth[current] + 1
+                stack.append(child)
+        return max(depth.values())
+
+    def cross_node_edges(self, spec: typing.Any) -> int:
+        """Number of parent→child edges crossing SMP node boundaries."""
+        return sum(
+            1
+            for rank, parent in self.parent.items()
+            if parent is not None and not spec.same_node(rank, parent)
+        )
+
+    def __repr__(self) -> str:
+        return f"<RankTree root={self.root} size={self.size}>"
+
+
+def map_to_ranks(tree: Tree, ranks: typing.Sequence[int]) -> RankTree:
+    """Map a virtual tree onto ``ranks`` (``ranks[0]`` becomes the root)."""
+    if len(ranks) != tree.size:
+        raise ConfigurationError(
+            f"tree of size {tree.size} cannot map onto {len(ranks)} ranks"
+        )
+    if len(set(ranks)) != len(ranks):
+        raise ConfigurationError("rank list contains duplicates")
+    parent: dict[int, int | None] = {}
+    children: dict[int, list[int]] = {}
+    for vertex in range(tree.size):
+        rank = ranks[vertex]
+        vparent = tree.parents[vertex]
+        parent[rank] = None if vparent is None else ranks[vparent]
+        children[rank] = [ranks[child] for child in tree.children[vertex]]
+    return RankTree(root=ranks[0], parent=parent, children=children)

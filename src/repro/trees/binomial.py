@@ -1,0 +1,35 @@
+"""Binomial (distance power-of-two) trees.
+
+The family the paper found fastest for inter-node communication (§2.1) and
+the one MPICH's broadcast/reduce used.  Virtual participant ``v``'s parent is
+``v`` with its *lowest* set bit cleared (the MPICH orientation), so ``v``'s
+depth is its popcount and the operation completes in ``ceil(log2 p)``
+communication rounds — paper equation (1).  A vertex's children are
+``v + 2^k`` for ``2^k`` above ``v``'s lowest set bit; the largest subtree
+(highest ``2^k``) is sent to first.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.trees.base import Tree
+
+__all__ = ["binomial_tree", "binomial_rounds"]
+
+
+def binomial_tree(size: int) -> Tree:
+    """The binomial broadcast tree over ``size`` virtual participants."""
+    if size < 1:
+        raise ConfigurationError(f"tree size must be >= 1, got {size}")
+    parents: list[int | None] = [None] * size
+    for vertex in range(1, size):
+        # Clear the lowest set bit: 13 (0b1101) hangs off 12 (0b1100).
+        parents[vertex] = vertex & (vertex - 1)
+    return Tree(parents).sort_children_by_subtree()
+
+
+def binomial_rounds(size: int) -> int:
+    """Communication rounds a binomial operation takes: ``ceil(log2 size)``."""
+    if size < 1:
+        raise ConfigurationError(f"tree size must be >= 1, got {size}")
+    return (size - 1).bit_length()

@@ -1,0 +1,177 @@
+"""Embedding collective trees into an SMP cluster (paper §2.1, Fig. 1).
+
+Two embeddings are provided:
+
+* :func:`naive_rank_tree` — the topology-*oblivious* mapping the MPI
+  baselines use: one tree over all global ranks in rotated rank order.  Its
+  edges freely cross node boundaries, which is exactly why message-passing
+  collectives underuse shared memory.
+* :func:`smp_embedding` — the SRM mapping: one *inter-node* tree over a
+  single representative per node (the node master; on the root's node, the
+  root itself) and one *intra-node* tree per node over its local tasks,
+  rooted at the representative.  With ``p`` tasks on each of ``n`` nodes this
+  adds no height over the flat tree because
+  ``log(P) >= log(n) + log(p)`` — paper equation (1)'s optimality argument.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.machine.spec import ClusterSpec
+from repro.trees.base import RankTree, Tree, map_to_ranks
+from repro.trees.binomial import binomial_tree
+from repro.trees.families import binary_tree, fibonacci_tree, flat_tree, kary_tree
+
+__all__ = ["build_tree", "naive_rank_tree", "smp_embedding", "group_embedding", "EmbeddedTrees", "TREE_FAMILIES"]
+
+#: Name → builder for the tree families of §2.1.
+TREE_FAMILIES: dict[str, typing.Callable[[int], Tree]] = {
+    "binomial": binomial_tree,
+    "binary": binary_tree,
+    "fibonacci": fibonacci_tree,
+    "flat": flat_tree,
+}
+
+
+def build_tree(family: str, size: int, arity: int | None = None) -> Tree:
+    """Build a virtual tree of the named family over ``size`` participants."""
+    if family == "kary":
+        if arity is None:
+            raise ConfigurationError("kary trees need an explicit arity")
+        return kary_tree(size, arity)
+    try:
+        builder = TREE_FAMILIES[family]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown tree family {family!r}; available: {sorted(TREE_FAMILIES)} + 'kary'"
+        ) from None
+    return builder(size)
+
+
+def naive_rank_tree(spec: ClusterSpec, root: int, family: str = "binomial") -> RankTree:
+    """Topology-oblivious tree over all ranks (virtual v ↦ (root+v) mod P)."""
+    spec.check_rank(root)
+    total = spec.total_tasks
+    order = [(root + offset) % total for offset in range(total)]
+    return map_to_ranks(build_tree(family, total), order)
+
+
+@dataclass
+class EmbeddedTrees:
+    """The SRM two-level communication structure for one rooted operation."""
+
+    spec: ClusterSpec
+    root: int
+    #: Per-node representative: the one task that talks to the network (§2.3).
+    representatives: dict[int, int]
+    #: Inter-node tree over the representatives, rooted at the root task.
+    inter: RankTree
+    #: Per-node intra trees over local ranks, rooted at the representative.
+    intra: dict[int, RankTree]
+
+    def representative_of(self, rank: int) -> int:
+        """The network-facing task of ``rank``'s node."""
+        return self.representatives[self.spec.node_of(rank)]
+
+    def is_representative(self, rank: int) -> bool:
+        """True when ``rank`` does this node's network communication."""
+        return self.representative_of(rank) == rank
+
+    def combined(self) -> RankTree:
+        """Flatten into one rank tree (intra edges + inter edges)."""
+        parent: dict[int, int | None] = {}
+        children: dict[int, list[int]] = {}
+        for node_tree in self.intra.values():
+            for rank in node_tree.ranks:
+                parent[rank] = node_tree.parent_of(rank)
+                # Inter-node children go first: network sends are issued
+                # before the local shared-memory fan-out so they overlap.
+                children[rank] = list(node_tree.children_of(rank))
+        for rank in self.inter.ranks:
+            inter_parent = self.inter.parent_of(rank)
+            if inter_parent is not None:
+                parent[rank] = inter_parent
+            children[rank] = self.inter.children_of(rank) + children[rank]
+        return RankTree(root=self.root, parent=parent, children=children)
+
+    def height(self) -> int:
+        """Height of the combined tree."""
+        return self.combined().height()
+
+
+def smp_embedding(
+    spec: ClusterSpec,
+    root: int,
+    inter_family: str = "binomial",
+    intra_family: str = "binomial",
+) -> EmbeddedTrees:
+    """The SRM embedding: Fig. 1's binomial-subtree-per-node structure."""
+    return group_embedding(
+        spec,
+        range(spec.total_tasks),
+        root,
+        inter_family=inter_family,
+        intra_family=intra_family,
+    )
+
+
+def group_embedding(
+    spec: ClusterSpec,
+    members: typing.Iterable[int],
+    root: int,
+    inter_family: str = "binomial",
+    intra_family: str = "binomial",
+) -> EmbeddedTrees:
+    """The Fig. 1 embedding restricted to an arbitrary task group.
+
+    This is the §5 open problem ("optimal embedding spanning trees for
+    arbitrary MPI task groups in the SMP clusters"): only nodes hosting at
+    least one group member join the inter-node tree; each such node's
+    representative is the root (on the root's node) or its lowest member
+    rank; intra-node trees span just the members.  With m members per used
+    node and k used nodes the height stays within
+    ``ceil(log2 k) + ceil(log2 max_m)`` — the same no-extra-steps argument
+    as equation (1).
+    """
+    member_list = sorted(set(members))
+    if not member_list:
+        raise ConfigurationError("a task group needs at least one member")
+    for rank in member_list:
+        spec.check_rank(rank)
+    if root not in member_list:
+        raise ConfigurationError(f"root {root} is not a member of the group")
+
+    members_by_node: dict[int, list[int]] = {}
+    for rank in member_list:
+        members_by_node.setdefault(spec.node_of(rank), []).append(rank)
+
+    root_node = spec.node_of(root)
+    node_order = [root_node] + [n for n in sorted(members_by_node) if n != root_node]
+
+    representatives: dict[int, int] = {}
+    for node, node_members in members_by_node.items():
+        representatives[node] = root if node == root_node else node_members[0]
+
+    inter_tree = map_to_ranks(
+        build_tree(inter_family, len(node_order)),
+        [representatives[node] for node in node_order],
+    )
+
+    intra_trees: dict[int, RankTree] = {}
+    for node, node_members in members_by_node.items():
+        representative = representatives[node]
+        local_order = [representative] + [r for r in node_members if r != representative]
+        intra_trees[node] = map_to_ranks(
+            build_tree(intra_family, len(node_members)), local_order
+        )
+
+    return EmbeddedTrees(
+        spec=spec,
+        root=root,
+        representatives=representatives,
+        inter=inter_tree,
+        intra=intra_trees,
+    )

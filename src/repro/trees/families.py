@@ -1,0 +1,70 @@
+"""The other tree families the paper implemented and compared (§2.1):
+binary, k-ary, flat, and Fibonacci (postal-model) trees."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.trees.base import Tree
+
+__all__ = ["binary_tree", "kary_tree", "flat_tree", "fibonacci_tree", "delayed_tree"]
+
+
+def kary_tree(size: int, arity: int) -> Tree:
+    """Complete k-ary tree: children of ``v`` are ``k*v+1 .. k*v+k``."""
+    if size < 1:
+        raise ConfigurationError(f"tree size must be >= 1, got {size}")
+    if arity < 1:
+        raise ConfigurationError(f"arity must be >= 1, got {arity}")
+    parents: list[int | None] = [None] * size
+    for vertex in range(1, size):
+        parents[vertex] = (vertex - 1) // arity
+    return Tree(parents)
+
+
+def binary_tree(size: int) -> Tree:
+    """Complete binary tree."""
+    return kary_tree(size, 2)
+
+
+def flat_tree(size: int) -> Tree:
+    """Root directly parents everyone — the paper's SMP barrier shape (§2.2)."""
+    if size < 1:
+        raise ConfigurationError(f"tree size must be >= 1, got {size}")
+    parents: list[int | None] = [None] + [0] * (size - 1)
+    return Tree(parents)
+
+
+def delayed_tree(size: int, delay: int) -> Tree:
+    """Postal-model broadcast tree: a participant received at time ``t`` can
+    forward from time ``t + delay`` on, one send per unit time.
+
+    ``delay=1`` reproduces the binomial tree's growth (doubling per round);
+    ``delay=2`` gives Fibonacci growth — the λ-tree family of Bar-Noy &
+    Kipnis [5] the paper cites.
+    """
+    if size < 1:
+        raise ConfigurationError(f"tree size must be >= 1, got {size}")
+    if delay < 1:
+        raise ConfigurationError(f"delay must be >= 1, got {delay}")
+    parents: list[int | None] = [None] * size
+    # ready_at[v]: earliest step at which v may send; a participant informed
+    # at step t becomes ready at t + delay and sends once per step after.
+    ready_at = [delay]
+    assigned = 1
+    time = 0
+    while assigned < size:
+        time += 1
+        for vertex in range(assigned):
+            if assigned >= size:
+                break
+            if ready_at[vertex] <= time:
+                parents[assigned] = vertex
+                ready_at.append(time + delay)
+                ready_at[vertex] = time + 1
+                assigned += 1
+    return Tree(parents).sort_children_by_subtree()
+
+
+def fibonacci_tree(size: int) -> Tree:
+    """Fibonacci broadcast tree (postal model with send delay 2)."""
+    return delayed_tree(size, delay=2)

@@ -1,0 +1,100 @@
+"""Unit tests for SRMConfig: switch points, chunking rules, validation."""
+
+import pytest
+
+from repro.core import SRMConfig
+from repro.errors import ConfigurationError
+
+KB = 1024
+
+
+def test_paper_defaults():
+    config = SRMConfig()
+    assert config.small_protocol_max == 64 * KB  # §2.4 switch point
+    assert config.pipeline_min == 8 * KB
+    assert config.pipeline_chunk == 4 * KB
+    assert config.allreduce_exchange_max == 16 * KB
+    assert config.inter_family == "binomial"
+
+
+def test_is_large_boundary():
+    config = SRMConfig()
+    assert not config.is_large(64 * KB)
+    assert config.is_large(64 * KB + 1)
+
+
+def test_chunks_small_single():
+    config = SRMConfig()
+    assert config.chunks(100) == [(0, 100)]
+    assert config.chunks(8 * KB) == [(0, 8 * KB)]
+
+
+def test_chunks_pipelined_4k():
+    config = SRMConfig()
+    chunks = config.chunks(10 * KB)
+    assert chunks == [(0, 4 * KB), (4 * KB, 4 * KB), (8 * KB, 2 * KB)]
+
+
+def test_chunks_exactly_divisible():
+    config = SRMConfig()
+    chunks = config.chunks(16 * KB)
+    assert len(chunks) == 4
+    assert all(size == 4 * KB for _offset, size in chunks)
+
+
+def test_chunks_large_64k():
+    config = SRMConfig()
+    chunks = config.chunks(200 * KB)
+    assert chunks[0] == (0, 64 * KB)
+    assert chunks[-1] == (192 * KB, 8 * KB)
+    assert sum(size for _o, size in chunks) == 200 * KB
+
+
+def test_chunks_zero_bytes():
+    assert SRMConfig().chunks(0) == [(0, 0)]
+
+
+def test_chunks_negative_rejected():
+    with pytest.raises(ConfigurationError):
+        SRMConfig().chunks(-1)
+
+
+def test_chunks_cover_message_exactly():
+    config = SRMConfig()
+    for nbytes in (1, 4095, 4096, 4097, 65535, 65536, 65537, 1_000_000):
+        chunks = config.chunks(nbytes)
+        # Contiguous, ordered, complete coverage.
+        position = 0
+        for offset, size in chunks:
+            assert offset == position
+            assert size > 0
+            position += size
+        assert position == nbytes
+
+
+def test_shared_buffer_holds_any_chunk():
+    config = SRMConfig()
+    assert config.shared_buffer_bytes >= config.large_chunk
+    assert config.shared_buffer_bytes >= config.allreduce_exchange_max
+    small = SRMConfig(pipeline_chunk=KB, pipeline_min=2 * KB, large_chunk=8 * KB)
+    assert small.shared_buffer_bytes >= 16 * KB  # still >= allreduce cutoff
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SRMConfig(pipeline_chunk=0)
+    with pytest.raises(ConfigurationError):
+        SRMConfig(pipeline_min=KB, pipeline_chunk=2 * KB)
+    with pytest.raises(ConfigurationError):
+        SRMConfig(small_protocol_max=KB, pipeline_min=8 * KB)
+    with pytest.raises(ConfigurationError):
+        SRMConfig(put_window=0)
+    with pytest.raises(ConfigurationError):
+        SRMConfig(allreduce_exchange_max=-1)
+
+
+def test_evolve():
+    base = SRMConfig()
+    changed = base.evolve(pipeline_chunk=2 * KB, pipeline_min=8 * KB)
+    assert changed.pipeline_chunk == 2 * KB
+    assert base.pipeline_chunk == 4 * KB

@@ -1,0 +1,50 @@
+"""Smoke tests for the example scripts' building blocks.
+
+The full examples are integration demos (some run for tens of simulated
+milliseconds); here we execute the fastest one end-to-end and import-check
+the rest so a broken API surface fails the suite immediately.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "iterative_jacobi.py",
+        "parameter_server.py",
+        "tuning_sweep.py",
+        "subgroup_teams.py",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "iterative_jacobi", "parameter_server", "tuning_sweep", "subgroup_teams"],
+)
+def test_example_parses_and_imports(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # defines functions; __main__ guard skips runs
+    entry_points = ("main", "manual_broadcast", "node_size_sweep")
+    assert any(hasattr(module, name) for name in entry_points)
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "simulated" in result.stdout
+    assert "SRM" in result.stdout

@@ -1,0 +1,87 @@
+"""Tests for the CSV/JSON export of sweep results."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench.export import collect_sweep, rows_from_measurements, to_csv, to_json
+from repro.bench.runner import Measurement
+from repro.bench.sweeps import clear_cache
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+SAMPLE = [
+    Measurement("srm", "broadcast", 1024, 32, 12.5e-6, 3),
+    Measurement("ibm", "broadcast", 1024, 32, 25.0e-6, 3),
+]
+
+
+def test_rows_preserve_fields():
+    rows = rows_from_measurements(SAMPLE)
+    assert rows[0] == {
+        "stack": "srm",
+        "operation": "broadcast",
+        "nbytes": 1024,
+        "total_tasks": 32,
+        "repeats": 3,
+        "microseconds": pytest.approx(12.5),
+    }
+
+
+def test_csv_round_trips():
+    text = to_csv(SAMPLE)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert len(parsed) == 2
+    assert parsed[1]["stack"] == "ibm"
+    assert float(parsed[0]["microseconds"]) == pytest.approx(12.5)
+
+
+def test_json_round_trips():
+    parsed = json.loads(to_json(SAMPLE))
+    assert parsed[0]["operation"] == "broadcast"
+    assert parsed[1]["microseconds"] == pytest.approx(25.0)
+
+
+def test_collect_sweep_barrier_only(monkeypatch):
+    # Shrink the grid so the test is quick.
+    monkeypatch.setattr("repro.bench.export.processor_configs", lambda: [1])
+    monkeypatch.setattr("repro.bench.export.message_sizes", lambda: [64])
+    measurements = collect_sweep(operations=("barrier",), stacks=("srm", "ibm"))
+    assert len(measurements) == 2
+    assert {m.stack for m in measurements} == {"SRM", "IBM MPI"}
+
+
+def test_collect_sweep_sized_operations(monkeypatch):
+    monkeypatch.setattr("repro.bench.export.processor_configs", lambda: [1])
+    monkeypatch.setattr("repro.bench.export.message_sizes", lambda: [64, 1024])
+    measurements = collect_sweep(operations=("broadcast",), stacks=("srm",))
+    assert len(measurements) == 2
+    assert {m.nbytes for m in measurements} == {64, 1024}
+
+
+def test_cli_export_stdout(monkeypatch, capsys):
+    monkeypatch.setattr("repro.bench.export.processor_configs", lambda: [1])
+    monkeypatch.setattr("repro.bench.export.message_sizes", lambda: [64])
+    assert main(["export", "--ops", "barrier", "--format", "csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("stack,operation")
+    assert "SRM" in out
+
+
+def test_cli_export_file(monkeypatch, tmp_path, capsys):
+    monkeypatch.setattr("repro.bench.export.processor_configs", lambda: [1])
+    monkeypatch.setattr("repro.bench.export.message_sizes", lambda: [64])
+    target = tmp_path / "sweep.json"
+    assert main(["export", "--ops", "barrier", "--format", "json", "--out", str(target)]) == 0
+    parsed = json.loads(target.read_text())
+    assert all(row["operation"] == "barrier" for row in parsed)
+    assert "wrote" in capsys.readouterr().out

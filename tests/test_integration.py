@@ -1,0 +1,211 @@
+"""Cross-stack integration and property-based tests.
+
+These exercise the full stacks end-to-end — all three collective
+implementations delivering the same answers on the same cluster shapes, with
+arbitrary (hypothesis-generated) sizes, roots, dtypes, and call sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import build
+from repro.machine import ClusterSpec, Machine
+from repro.mpi.ops import MAX, MIN, SUM
+
+STACK_NAMES = ("srm", "ibm", "mpich")
+
+
+def run_broadcast(machine, stack, payload, root):
+    total = machine.spec.total_tasks
+    buffers = {r: (payload.copy() if r == root else np.zeros_like(payload)) for r in range(total)}
+
+    def program(task):
+        yield from stack.broadcast(task, buffers[task.rank], root=root)
+
+    machine.launch(program)
+    return buffers
+
+
+def run_allreduce(machine, stack, sources, op):
+    total = machine.spec.total_tasks
+    outs = {r: np.zeros_like(sources[r]) for r in range(total)}
+
+    def program(task):
+        yield from stack.allreduce(task, sources[task.rank], outs[task.rank], op)
+
+    machine.launch(program)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# all stacks agree
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", STACK_NAMES)
+def test_stacks_deliver_identical_broadcast(name):
+    machine, stack = build(name, ClusterSpec(nodes=3, tasks_per_node=3))
+    payload = np.random.default_rng(5).random(777)
+    buffers = run_broadcast(machine, stack, payload, root=4)
+    for buffer in buffers.values():
+        assert np.array_equal(buffer, payload)
+
+
+@pytest.mark.parametrize("name", STACK_NAMES)
+@pytest.mark.parametrize("op,reducer", [(SUM, np.sum), (MIN, np.min), (MAX, np.max)])
+def test_stacks_deliver_identical_allreduce(name, op, reducer):
+    machine, stack = build(name, ClusterSpec(nodes=2, tasks_per_node=3))
+    rng = np.random.default_rng(9)
+    sources = {r: rng.random(100) for r in range(6)}
+    outs = run_allreduce(machine, stack, sources, op)
+    expected = reducer(np.stack(list(sources.values())), axis=0)
+    for out in outs.values():
+        assert np.allclose(out, expected)
+
+
+def test_mixed_operation_sequence_all_stacks():
+    """A realistic application pattern: bcast -> compute -> reduce ->
+    allreduce -> barrier, several iterations, identical results."""
+    finals = {}
+    for name in STACK_NAMES:
+        machine, stack = build(name, ClusterSpec(nodes=2, tasks_per_node=4))
+        total = 8
+        state = {r: np.zeros(64) for r in range(total)}
+        if True:
+            state[0][:] = 1.0
+        reduced = np.zeros(64)
+        summed = {r: np.zeros(64) for r in range(total)}
+
+        def program(task):
+            for _iteration in range(3):
+                yield from stack.broadcast(task, state[task.rank], root=0)
+                local = state[task.rank] * (task.rank + 1)
+                dst = reduced if task.rank == 0 else None
+                yield from stack.reduce(task, local, dst, SUM, root=0)
+                yield from stack.allreduce(task, local, summed[task.rank], SUM)
+                yield from stack.barrier(task)
+                if task.rank == 0:
+                    state[0][:] = reduced / 36.0
+
+        machine.launch(program)
+        finals[name] = (state[0].copy(), summed[0].copy())
+
+    for name in ("ibm", "mpich"):
+        assert np.allclose(finals[name][0], finals["srm"][0])
+        assert np.allclose(finals[name][1], finals["srm"][1])
+
+
+def test_srm_wins_on_representative_points():
+    """The paper's claim holds at every probed (op, size) corner."""
+    from repro.bench import time_operation
+
+    spec = ClusterSpec(nodes=4, tasks_per_node=16)
+    for operation, nbytes in [
+        ("broadcast", 64),
+        ("broadcast", 100_000),
+        ("reduce", 4096),
+        ("allreduce", 16384),
+        ("barrier", 0),
+    ]:
+        machine, srm = build("srm", spec)
+        srm_time = time_operation(machine, srm, operation, nbytes, repeats=2).seconds
+        machine, ibm = build("ibm", spec)
+        ibm_time = time_operation(machine, ibm, operation, nbytes, repeats=2).seconds
+        assert srm_time < ibm_time, f"SRM lost {operation}/{nbytes}"
+
+
+# ---------------------------------------------------------------------------
+# property-based correctness
+# ---------------------------------------------------------------------------
+
+
+@given(
+    nodes=st.integers(1, 4),
+    tasks=st.integers(1, 5),
+    count=st.integers(1, 3000),
+    root_seed=st.integers(0, 1_000),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_srm_broadcast_property(nodes, tasks, count, root_seed, data):
+    machine, stack = build("srm", ClusterSpec(nodes=nodes, tasks_per_node=tasks))
+    root = root_seed % machine.spec.total_tasks
+    payload = np.frombuffer(
+        np.random.default_rng(root_seed).bytes(count), dtype=np.uint8
+    ).copy()
+    buffers = run_broadcast(machine, stack, payload, root)
+    for buffer in buffers.values():
+        assert np.array_equal(buffer, payload)
+    del data
+
+
+@given(
+    nodes=st.integers(1, 4),
+    tasks=st.integers(1, 4),
+    count=st.integers(1, 2500),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_srm_allreduce_property(nodes, tasks, count, seed):
+    machine, stack = build("srm", ClusterSpec(nodes=nodes, tasks_per_node=tasks))
+    total = machine.spec.total_tasks
+    rng = np.random.default_rng(seed)
+    sources = {r: rng.integers(-1000, 1000, count).astype(np.int64) for r in range(total)}
+    outs = run_allreduce(machine, stack, sources, SUM)
+    expected = np.sum(np.stack(list(sources.values())), axis=0)
+    for out in outs.values():
+        assert np.array_equal(out, expected)
+
+
+@given(
+    nodes=st.integers(1, 3),
+    tasks=st.integers(1, 4),
+    sizes=st.lists(st.integers(1, 100_000), min_size=1, max_size=4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_srm_repeated_mixed_sizes_property(nodes, tasks, sizes, seed):
+    """Back-to-back broadcasts of arbitrary sizes keep the double-buffer and
+    counter bookkeeping consistent (the cross-call pipelining invariant)."""
+    machine, stack = build("srm", ClusterSpec(nodes=nodes, tasks_per_node=tasks))
+    total = machine.spec.total_tasks
+    rng = np.random.default_rng(seed)
+    for index, count in enumerate(sizes):
+        root = int(rng.integers(total))
+        payload = rng.integers(0, 255, count).astype(np.uint8)
+        buffers = run_broadcast(machine, stack, payload, root)
+        for buffer in buffers.values():
+            assert np.array_equal(buffer, payload), f"call {index} corrupted"
+
+
+@given(
+    nodes=st.integers(1, 3),
+    tasks=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_baseline_allreduce_property(nodes, tasks, seed):
+    machine, stack = build("ibm", ClusterSpec(nodes=nodes, tasks_per_node=tasks))
+    total = machine.spec.total_tasks
+    rng = np.random.default_rng(seed)
+    sources = {r: rng.random(64) for r in range(total)}
+    outs = run_allreduce(machine, stack, sources, SUM)
+    expected = np.sum(np.stack(list(sources.values())), axis=0)
+    for out in outs.values():
+        assert np.allclose(out, expected)
+
+
+def test_simulation_is_deterministic():
+    """Two identical runs produce bit-identical clocks and results."""
+
+    def run():
+        machine, stack = build("srm", ClusterSpec(nodes=2, tasks_per_node=4))
+        payload = np.arange(5000, dtype=np.uint8)
+        run_broadcast(machine, stack, payload, root=3)
+        sources = {r: np.full(100, float(r)) for r in range(8)}
+        run_allreduce(machine, stack, sources, SUM)
+        return machine.now
+
+    assert run() == run()

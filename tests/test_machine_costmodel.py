@@ -1,0 +1,71 @@
+"""Unit tests for the cost model and eager-limit table."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import CostModel, EagerLimitTable
+
+KB = 1024
+
+
+def test_default_eager_limit_shrinks_with_task_count():
+    # The §2.3 behaviour: larger jobs get a smaller eager limit.
+    model = CostModel.ibm_sp_colony()
+    limits = [model.eager_limit(tasks) for tasks in (16, 32, 64, 128, 256)]
+    assert limits == sorted(limits, reverse=True)
+    assert limits[0] == 32 * KB
+    assert limits[-1] == 4 * KB
+
+
+def test_eager_limit_also_capped_by_pool():
+    model = CostModel.ibm_sp_colony().evolve(eager_pool_bytes=64 * KB)
+    # 256 peers on a 64 KB pool -> 256 B per peer beats the 4 KB table floor.
+    assert model.eager_limit(257) == 64 * KB // 256
+
+
+def test_fixed_table_is_task_count_independent():
+    table = EagerLimitTable.fixed(16 * KB)
+    assert table.limit_for(2) == table.limit_for(10_000) == 16 * KB
+
+
+def test_single_task_uses_table_limit():
+    model = CostModel.ibm_sp_colony()
+    assert model.eager_limit(1) == 32 * KB
+
+
+def test_copy_reduce_wire_time_shapes():
+    model = CostModel.ibm_sp_colony()
+    assert model.copy_time(0) == pytest.approx(model.sm_copy_latency)
+    assert model.copy_time(2**20) > model.copy_time(2**10)
+    assert model.wire_time(0) == pytest.approx(model.net_latency)
+    # The core premise: an intra-node copy is much cheaper than a wire hop.
+    assert model.copy_time(1024) < model.wire_time(1024) / 5
+    # Reduce streams slower than plain copy (two reads + a write + ALU).
+    assert model.reduce_time(2**20) > model.copy_time(2**20)
+
+
+def test_evolve_returns_modified_copy():
+    base = CostModel.ibm_sp_colony()
+    faster = base.evolve(net_latency=1e-6)
+    assert faster.net_latency == 1e-6
+    assert base.net_latency != 1e-6
+    assert faster.net_bandwidth == base.net_bandwidth
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        CostModel(net_bandwidth=0)
+    with pytest.raises(ConfigurationError):
+        CostModel(net_latency=-1)
+    with pytest.raises(ConfigurationError):
+        CostModel(spin_yield_threshold=0)
+    with pytest.raises(ConfigurationError):
+        CostModel(eager_pool_bytes=-1)
+
+
+def test_presets_are_valid_and_distinct():
+    colony = CostModel.ibm_sp_colony()
+    commodity = CostModel.commodity_cluster()
+    fat = CostModel.fat_smp()
+    assert commodity.net_latency > colony.net_latency
+    assert fat.memory_bus_bandwidth > colony.memory_bus_bandwidth

@@ -1,0 +1,90 @@
+"""Unit tests for ClusterSpec rank/node mapping."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine import ClusterSpec
+
+
+def test_uniform_spec_basics():
+    spec = ClusterSpec(nodes=8, tasks_per_node=16)
+    assert spec.total_tasks == 128
+    assert spec.uniform
+    assert spec.node_sizes == (16,) * 8
+
+
+def test_block_rank_assignment():
+    spec = ClusterSpec(nodes=4, tasks_per_node=4)
+    assert spec.node_of(0) == 0
+    assert spec.node_of(3) == 0
+    assert spec.node_of(4) == 1
+    assert spec.node_of(15) == 3
+
+
+def test_local_index():
+    spec = ClusterSpec(nodes=4, tasks_per_node=4)
+    assert spec.local_index(0) == 0
+    assert spec.local_index(5) == 1
+    assert spec.local_index(15) == 3
+
+
+def test_ranks_on_node():
+    spec = ClusterSpec(nodes=3, tasks_per_node=2)
+    assert list(spec.ranks_on_node(1)) == [2, 3]
+
+
+def test_rank_at_round_trips():
+    spec = ClusterSpec(nodes=5, tasks_per_node=7)
+    for rank in range(spec.total_tasks):
+        node = spec.node_of(rank)
+        local = spec.local_index(rank)
+        assert spec.rank_at(node, local) == rank
+
+
+def test_nonuniform_sizes():
+    # The 15-of-16 daemon-avoidance configuration from §2.1.
+    spec = ClusterSpec(nodes=3, tasks_per_node=[16, 15, 16])
+    assert spec.total_tasks == 47
+    assert not spec.uniform
+    assert spec.node_of(16) == 1
+    assert spec.node_of(30) == 1
+    assert spec.node_of(31) == 2
+
+
+def test_same_node_predicate():
+    spec = ClusterSpec(nodes=2, tasks_per_node=3)
+    assert spec.same_node(0, 2)
+    assert not spec.same_node(2, 3)
+
+
+def test_tree_height_bound():
+    assert ClusterSpec(nodes=8, tasks_per_node=16).tree_height_bound() == 7
+    assert ClusterSpec(nodes=1, tasks_per_node=1).tree_height_bound() == 0
+    assert ClusterSpec(nodes=1, tasks_per_node=3).tree_height_bound() == 2
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(TopologyError):
+        ClusterSpec(nodes=0)
+    with pytest.raises(TopologyError):
+        ClusterSpec(nodes=2, tasks_per_node=0)
+    with pytest.raises(TopologyError):
+        ClusterSpec(nodes=2, tasks_per_node=[4])
+    with pytest.raises(TopologyError):
+        ClusterSpec(nodes=2, tasks_per_node=[4, 0])
+
+
+def test_rank_bounds_checked():
+    spec = ClusterSpec(nodes=2, tasks_per_node=2)
+    with pytest.raises(TopologyError):
+        spec.node_of(4)
+    with pytest.raises(TopologyError):
+        spec.node_of(-1)
+    with pytest.raises(TopologyError):
+        spec.rank_at(0, 2)
+    with pytest.raises(TopologyError):
+        spec.node_size(2)
+
+
+def test_str_is_informative():
+    assert "8 nodes x 16 tasks" in str(ClusterSpec(nodes=8, tasks_per_node=16))

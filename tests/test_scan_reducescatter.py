@@ -1,0 +1,190 @@
+"""Tests for the scan and reduce_scatter extension operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import build
+from repro.core import SRM
+from repro.errors import ConfigurationError
+from repro.machine import ClusterSpec, Machine
+from repro.machine.audit import audit_machine
+from repro.mpi.ops import MAX, SUM
+
+STACKS = ("srm", "ibm", "mpich")
+
+
+def run_scan(machine, stack, sources, op=SUM):
+    total = machine.spec.total_tasks
+    outs = {r: np.zeros_like(sources[r]) for r in range(total)}
+
+    def program(task):
+        yield from stack.scan(task, sources[task.rank], outs[task.rank], op)
+
+    machine.launch(program)
+    return outs
+
+
+# ---------------------------------------------------------------------------
+# scan
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", STACKS)
+@pytest.mark.parametrize("nodes,tasks", [(1, 4), (2, 3), (3, 2), (4, 1)])
+def test_scan_prefixes(name, nodes, tasks):
+    machine, stack = build(name, ClusterSpec(nodes=nodes, tasks_per_node=tasks))
+    total = machine.spec.total_tasks
+    rng = np.random.default_rng(7)
+    sources = {r: rng.random(200) for r in range(total)}
+    outs = run_scan(machine, stack, sources)
+    running = np.zeros(200)
+    for rank in range(total):
+        running = running + sources[rank]
+        assert np.allclose(outs[rank], running), f"{name} rank {rank}"
+
+
+@pytest.mark.parametrize("name", STACKS)
+def test_scan_max_operator(name):
+    machine, stack = build(name, ClusterSpec(nodes=2, tasks_per_node=2))
+    sources = {r: np.full(16, float((r * 13) % 7)) for r in range(4)}
+    outs = run_scan(machine, stack, sources, op=MAX)
+    best = np.full(16, -np.inf)
+    for rank in range(4):
+        best = np.maximum(best, sources[rank])
+        assert np.allclose(outs[rank], best)
+
+
+def test_scan_large_message_chunks():
+    machine, stack = build("srm", ClusterSpec(nodes=3, tasks_per_node=2))
+    rng = np.random.default_rng(1)
+    sources = {r: rng.random(50_000) for r in range(6)}
+    outs = run_scan(machine, stack, sources)
+    running = np.zeros(50_000)
+    for rank in range(6):
+        running = running + sources[rank]
+        assert np.allclose(outs[rank], running)
+    assert audit_machine(machine).clean
+
+
+def test_scan_repeated_calls():
+    machine, stack = build("srm", ClusterSpec(nodes=2, tasks_per_node=2))
+    for call in range(3):
+        sources = {r: np.full(64, float(call * 4 + r + 1)) for r in range(4)}
+        outs = run_scan(machine, stack, sources)
+        running = 0.0
+        for rank in range(4):
+            running += call * 4 + rank + 1
+            assert np.all(outs[rank] == running), f"call {call} rank {rank}"
+
+
+def test_scan_single_rank():
+    machine, stack = build("srm", ClusterSpec(nodes=1, tasks_per_node=1))
+    out = run_scan(machine, stack, {0: np.full(8, 3.0)})
+    assert np.all(out[0] == 3.0)
+
+
+def test_scan_group():
+    machine = Machine(ClusterSpec(nodes=4, tasks_per_node=2))
+    members = [1, 2, 4, 7]
+    srm = SRM(machine, group=members)
+    sources = {r: np.full(32, float(r)) for r in members}
+    outs = {r: np.zeros(32) for r in members}
+
+    def program(task):
+        yield from srm.scan(task, sources[task.rank], outs[task.rank], SUM)
+
+    machine.launch(program, ranks=members)
+    running = 0.0
+    for rank in members:
+        running += rank
+        assert np.all(outs[rank] == running)
+
+
+def test_scan_size_mismatch_rejected():
+    machine, stack = build("srm", ClusterSpec(nodes=1, tasks_per_node=2))
+
+    def program(task):
+        yield from stack.scan(task, np.zeros(4), np.zeros(8), SUM)
+
+    with pytest.raises(ConfigurationError):
+        machine.launch(program)
+
+
+def test_srm_scan_faster_than_linear_chain():
+    """Hierarchy pays off: the SRM scan crosses the network once per node;
+    the baseline chain crosses it once per rank-boundary."""
+
+    def timed(name):
+        machine, stack = build(name, ClusterSpec(nodes=4, tasks_per_node=8))
+        sources = {r: np.ones(512) for r in range(32)}
+        run_scan(machine, stack, sources)
+        start = machine.now
+        run_scan(machine, stack, sources)
+        return machine.now - start
+
+    assert timed("srm") < timed("ibm")
+
+
+@given(seed=st.integers(0, 5000), count=st.integers(1, 20_000))
+@settings(max_examples=15, deadline=None)
+def test_scan_property(seed, count):
+    machine, stack = build("srm", ClusterSpec(nodes=2, tasks_per_node=3))
+    rng = np.random.default_rng(seed)
+    sources = {r: rng.integers(-50, 50, count).astype(np.int64) for r in range(6)}
+    outs = run_scan(machine, stack, sources)
+    running = np.zeros(count, np.int64)
+    for rank in range(6):
+        running = running + sources[rank]
+        assert np.array_equal(outs[rank], running)
+
+
+# ---------------------------------------------------------------------------
+# reduce_scatter
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", STACKS)
+def test_reduce_scatter_blocks(name):
+    machine, stack = build(name, ClusterSpec(nodes=2, tasks_per_node=3))
+    total = 6
+    block = 20
+    rng = np.random.default_rng(11)
+    sources = {r: rng.random(block * total) for r in range(total)}
+    outs = {r: np.zeros(block) for r in range(total)}
+
+    def program(task):
+        yield from stack.reduce_scatter(task, sources[task.rank], outs[task.rank], SUM)
+
+    machine.launch(program)
+    full = np.sum(np.stack(list(sources.values())), axis=0)
+    for rank in range(total):
+        assert np.allclose(outs[rank], full[rank * block : (rank + 1) * block]), f"{name}"
+
+
+def test_reduce_scatter_size_validation():
+    machine, stack = build("srm", ClusterSpec(nodes=1, tasks_per_node=2))
+
+    def program(task):
+        yield from stack.reduce_scatter(task, np.zeros(10), np.zeros(3), SUM)
+
+    with pytest.raises(ValueError):
+        machine.launch(program)
+
+
+def test_reduce_scatter_group():
+    machine = Machine(ClusterSpec(nodes=2, tasks_per_node=4))
+    members = [0, 3, 5, 6]
+    srm = SRM(machine, group=members)
+    block = 8
+    sources = {r: np.arange(block * 4, dtype=np.float64) * (r + 1) for r in members}
+    outs = {r: np.zeros(block) for r in members}
+
+    def program(task):
+        yield from srm.reduce_scatter(task, sources[task.rank], outs[task.rank], SUM)
+
+    machine.launch(program, ranks=members)
+    full = np.sum(np.stack([sources[r] for r in members]), axis=0)
+    for index, rank in enumerate(members):
+        assert np.allclose(outs[rank], full[index * block : (index + 1) * block])

@@ -1,0 +1,137 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Engine(start_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    engine = Engine()
+    engine.timeout(2.5)
+    engine.run()
+    assert engine.now == 2.5
+
+
+def test_run_until_time_stops_early():
+    engine = Engine()
+    engine.timeout(1.0)
+    engine.timeout(10.0)
+    engine.run(until=5.0)
+    assert engine.now == 5.0
+
+
+def test_run_until_past_time_raises():
+    engine = Engine()
+    engine.run(until=3.0)
+    with pytest.raises(SimulationError):
+        engine.run(until=1.0)
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    seen = []
+    for delay in (3.0, 1.0, 2.0):
+        engine.timeout(delay, value=delay).add_callback(lambda e: seen.append(e.value))
+    engine.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    engine = Engine()
+    seen = []
+    for label in "abcd":
+        engine.timeout(1.0, value=label).add_callback(lambda e: seen.append(e.value))
+    engine.run()
+    assert seen == ["a", "b", "c", "d"]
+
+
+def test_negative_timeout_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.timeout(-0.1)
+
+
+def test_run_until_event_returns_value():
+    engine = Engine()
+
+    def program():
+        yield engine.timeout(1.0)
+        return 42
+
+    result = engine.run(until=engine.process(program()))
+    assert result == 42
+    assert engine.now == 1.0
+
+
+def test_run_until_event_never_fires_is_deadlock():
+    engine = Engine()
+    orphan = engine.event()
+
+    def program():
+        yield orphan
+
+    process = engine.process(program())
+    with pytest.raises(DeadlockError):
+        engine.run(until=process)
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(DeadlockError):
+        Engine().step()
+
+
+def test_peek_reports_next_event_time():
+    engine = Engine()
+    assert engine.peek() == float("inf")
+    engine.timeout(4.0)
+    assert engine.peek() == 4.0
+
+
+def test_call_at_runs_callback_at_time():
+    engine = Engine()
+    stamps = []
+    engine.call_at(2.0, lambda: stamps.append(engine.now))
+    engine.run()
+    assert stamps == [2.0]
+
+
+def test_call_at_in_past_raises():
+    engine = Engine(start_time=10.0)
+    with pytest.raises(SimulationError):
+        engine.call_at(5.0, lambda: None)
+
+
+def test_events_processed_counter():
+    engine = Engine()
+    engine.timeout(1.0)
+    engine.timeout(2.0)
+    engine.run()
+    assert engine.events_processed == 2
+
+
+def test_determinism_same_program_same_trace():
+    def trace_run():
+        engine = Engine()
+        trace = []
+
+        def worker(ident, delay):
+            yield engine.timeout(delay)
+            trace.append((engine.now, ident))
+            yield engine.timeout(delay * 2)
+            trace.append((engine.now, ident))
+
+        for ident in range(5):
+            engine.process(worker(ident, 0.5 + ident * 0.25))
+        engine.run()
+        return trace
+
+    assert trace_run() == trace_run()

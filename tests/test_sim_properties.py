@@ -1,0 +1,115 @@
+"""Property-based tests for the simulation kernel's core guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, FifoResource, SharedBandwidth
+
+
+@given(delays=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.timeout(delay, value=delay).add_callback(lambda e: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert engine.now == max(delays)
+
+
+@given(
+    delays=st.lists(st.floats(0.001, 10.0, allow_nan=False), min_size=1, max_size=20),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_simulation_is_a_pure_function_of_inputs(delays, seed):
+    def run():
+        engine = Engine()
+        trace = []
+
+        def worker(ident, delay):
+            yield engine.timeout(delay)
+            trace.append((round(engine.now, 12), ident))
+            yield engine.timeout(delay / 2)
+            trace.append((round(engine.now, 12), ident))
+
+        for ident, delay in enumerate(delays):
+            engine.process(worker(ident, delay))
+        engine.run()
+        return trace
+
+    assert run() == run()
+    del seed
+
+
+@given(
+    sizes=st.lists(st.floats(1.0, 1e6, allow_nan=False), min_size=1, max_size=15),
+    rate=st.floats(10.0, 1e9, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_shared_bandwidth_conserves_work(sizes, rate):
+    """However transfers interleave, the link finishes all bytes no earlier
+    than total/rate and completes every transfer."""
+    engine = Engine()
+    link = SharedBandwidth(engine, rate=rate)
+    done = [link.transfer(size) for size in sizes]
+    engine.run(until=engine.all_of(done))
+    total = sum(sizes)
+    assert engine.now >= total / rate * (1 - 1e-9)
+    # Fluid sharing of simultaneous arrivals finishes exactly at total/rate
+    # if nothing is capped (work conservation).
+    assert engine.now <= total / rate * (1 + 1e-6)
+    assert link.active_transfers == 0
+    assert link.bytes_transferred >= total * (1 - 1e-9)
+
+
+@given(
+    sizes=st.lists(st.floats(1.0, 1e5, allow_nan=False), min_size=2, max_size=10),
+    cap_fraction=st.floats(0.1, 1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_shared_bandwidth_caps_respected(sizes, cap_fraction):
+    """With per-transfer caps, no transfer finishes faster than size/cap."""
+    engine = Engine()
+    rate = 1000.0
+    cap = rate * cap_fraction
+    link = SharedBandwidth(engine, rate=rate)
+    finish = {}
+
+    def runner(index, size):
+        yield link.transfer(size, max_rate=cap)
+        finish[index] = engine.now
+
+    for index, size in enumerate(sizes):
+        engine.process(runner(index, size))
+    engine.run()
+    for index, size in enumerate(sizes):
+        assert finish[index] >= size / cap * (1 - 1e-9)
+
+
+@given(
+    holders=st.lists(st.floats(0.01, 5.0, allow_nan=False), min_size=1, max_size=12),
+    capacity=st.integers(1, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_fifo_resource_never_exceeds_capacity(holders, capacity):
+    engine = Engine()
+    resource = FifoResource(engine, capacity=capacity)
+    concurrency = {"now": 0, "peak": 0}
+
+    def worker(hold):
+        yield resource.request()
+        concurrency["now"] += 1
+        concurrency["peak"] = max(concurrency["peak"], concurrency["now"])
+        yield engine.timeout(hold)
+        concurrency["now"] -= 1
+        resource.release()
+
+    for hold in holders:
+        engine.process(worker(hold))
+    engine.run()
+    assert concurrency["peak"] <= capacity
+    assert concurrency["now"] == 0
+    assert resource.in_use == 0

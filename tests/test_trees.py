@@ -1,0 +1,327 @@
+"""Unit + property tests for tree families and the SMP embedding."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.machine import ClusterSpec
+from repro.trees import (
+    RankTree,
+    Tree,
+    binary_tree,
+    binomial_tree,
+    binomial_rounds,
+    build_tree,
+    delayed_tree,
+    fibonacci_tree,
+    flat_tree,
+    kary_tree,
+    map_to_ranks,
+    naive_rank_tree,
+    smp_embedding,
+)
+
+
+# ---------------------------------------------------------------------------
+# Tree basics
+# ---------------------------------------------------------------------------
+
+
+def test_tree_rejects_invalid_parents():
+    with pytest.raises(TopologyError):
+        Tree([])
+    with pytest.raises(TopologyError):
+        Tree([0])  # root must have parent None
+    with pytest.raises(TopologyError):
+        Tree([None, 5])  # out of range
+    with pytest.raises(TopologyError):
+        Tree([None, None])  # second root / disconnected
+
+
+def test_tree_levels_and_height():
+    tree = Tree([None, 0, 0, 1])
+    assert tree.level_of(0) == 0
+    assert tree.level_of(3) == 2
+    assert tree.height == 2
+    assert tree.subtree_size(0) == 4
+    assert tree.subtree_size(1) == 2
+    assert sorted(tree.leaves()) == [2, 3]
+
+
+def test_singleton_tree():
+    tree = Tree([None])
+    assert tree.height == 0
+    assert tree.leaves() == [0]
+    assert tree.max_degree() == 0
+
+
+# ---------------------------------------------------------------------------
+# Binomial
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 16, 100, 128, 256])
+def test_binomial_height_is_max_popcount(size):
+    # Depth of vertex v is popcount(v) in the MPICH orientation.
+    expected = max(bin(v).count("1") for v in range(size))
+    assert binomial_tree(size).height == expected
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 16, 100, 128, 256])
+def test_binomial_rounds_is_ceil_log2(size):
+    # Paper equation (1): h(P) = ceil(log2 P) communication rounds.
+    expected = math.ceil(math.log2(size)) if size > 1 else 0
+    assert binomial_rounds(size) == expected
+
+
+def test_binomial_structure_power_of_two():
+    tree = binomial_tree(8)
+    # Parent clears the lowest set bit.
+    assert tree.parents[1] == 0
+    assert tree.parents[5] == 4
+    assert tree.parents[6] == 4
+    assert tree.parents[7] == 6
+    assert tree.parents[3] == 2
+    # Root fans out to the powers of two, largest subtree first.
+    assert sorted(tree.children[0]) == [1, 2, 4]
+    assert tree.children[0][0] == 4
+    assert tree.subtree_size(4) == 4
+
+
+def test_binomial_root_degree_is_log_p():
+    assert binomial_tree(256).children[0].__len__() == 8
+
+
+# ---------------------------------------------------------------------------
+# Other families
+# ---------------------------------------------------------------------------
+
+
+def test_binary_tree_structure():
+    tree = binary_tree(7)
+    assert tree.children[0] == [1, 2]
+    assert tree.children[1] == [3, 4]
+    assert tree.height == 2
+
+
+def test_kary_tree_structure():
+    tree = kary_tree(13, 3)
+    assert tree.children[0] == [1, 2, 3]
+    assert tree.children[1] == [4, 5, 6]
+    with pytest.raises(ConfigurationError):
+        kary_tree(5, 0)
+
+
+def test_flat_tree_structure():
+    tree = flat_tree(5)
+    assert tree.children[0] == [1, 2, 3, 4]
+    assert tree.height == 1
+    assert tree.max_degree() == 4
+
+
+def test_fibonacci_growth():
+    # With send delay 2, informed counts grow per the Fibonacci recurrence:
+    # slower than binomial doubling, so covering the same participants needs
+    # more rounds and a wider root (the root sends every step).
+    fib = fibonacci_tree(32)
+    assert fib.size == 32
+    assert fib.max_degree() >= binomial_tree(32).max_degree()
+    assert fibonacci_tree(1).size == 1
+
+
+def test_delayed_tree_delay_one_matches_binomial_growth():
+    # delay=1 doubles per round: same height as the binomial tree.
+    for size in (2, 8, 31, 64):
+        assert delayed_tree(size, 1).height == binomial_tree(size).height
+
+
+def test_delayed_tree_validation():
+    with pytest.raises(ConfigurationError):
+        delayed_tree(0, 1)
+    with pytest.raises(ConfigurationError):
+        delayed_tree(5, 0)
+
+
+@given(size=st.integers(1, 200), delay=st.integers(1, 4))
+@settings(max_examples=50, deadline=None)
+def test_delayed_tree_always_valid(size, delay):
+    tree = delayed_tree(size, delay)
+    assert tree.size == size  # Tree() validates connectivity/acyclicity
+
+
+@given(size=st.integers(1, 300))
+@settings(max_examples=50, deadline=None)
+def test_binomial_always_valid_and_logarithmic(size):
+    tree = binomial_tree(size)
+    assert tree.size == size
+    if size > 1:
+        rounds = math.ceil(math.log2(size))
+        assert tree.height == max(bin(v).count("1") for v in range(size))
+        assert tree.height <= rounds
+        assert tree.max_degree() <= rounds
+        assert binomial_rounds(size) == rounds
+
+
+def test_build_tree_dispatch():
+    assert build_tree("binomial", 8).height == 3
+    assert build_tree("flat", 8).height == 1
+    assert build_tree("kary", 8, arity=3).children[0] == [1, 2, 3]
+    with pytest.raises(ConfigurationError):
+        build_tree("kary", 8)
+    with pytest.raises(ConfigurationError):
+        build_tree("nonsense", 8)
+
+
+# ---------------------------------------------------------------------------
+# RankTree mapping
+# ---------------------------------------------------------------------------
+
+
+def test_map_to_ranks_relabels():
+    tree = binomial_tree(4)
+    mapped = map_to_ranks(tree, [10, 20, 30, 40])
+    assert mapped.root == 10
+    assert mapped.parent_of(10) is None
+    assert set(mapped.ranks) == {10, 20, 30, 40}
+    assert mapped.parent_of(40) in (10, 20, 30)
+
+
+def test_map_to_ranks_validation():
+    tree = binomial_tree(4)
+    with pytest.raises(ConfigurationError):
+        map_to_ranks(tree, [1, 2, 3])
+    with pytest.raises(ConfigurationError):
+        map_to_ranks(tree, [1, 2, 3, 3])
+
+
+def test_rank_tree_queries_unknown_rank():
+    tree = map_to_ranks(binomial_tree(2), [5, 9])
+    with pytest.raises(TopologyError):
+        tree.parent_of(7)
+    with pytest.raises(TopologyError):
+        tree.children_of(7)
+
+
+def test_rank_tree_rejects_bad_root():
+    with pytest.raises(TopologyError):
+        RankTree(root=1, parent={1: 2, 2: None}, children={1: [], 2: [1]})
+
+
+# ---------------------------------------------------------------------------
+# Naive embedding (the MPI baselines' view)
+# ---------------------------------------------------------------------------
+
+
+def test_naive_tree_rotates_by_root():
+    spec = ClusterSpec(nodes=2, tasks_per_node=4)
+    tree = naive_rank_tree(spec, root=5)
+    assert tree.root == 5
+    assert set(tree.ranks) == set(range(8))
+
+
+def test_naive_tree_crosses_nodes_heavily():
+    spec = ClusterSpec(nodes=8, tasks_per_node=16)
+    # The SMP-aware embedding uses exactly nodes-1 network edges for ANY
+    # root (Fig. 1).  The naive rotated-rank binomial happens to align with
+    # node boundaries for root 0 on power-of-two shapes, but any other root
+    # destroys the alignment — one reason arbitrary-root MPI collectives
+    # underuse shared memory.
+    for root in (0, 5, 77):
+        embedded = smp_embedding(spec, root=root).combined()
+        assert embedded.cross_node_edges(spec) == spec.nodes - 1
+    assert naive_rank_tree(spec, root=0).cross_node_edges(spec) == 7
+    assert naive_rank_tree(spec, root=5).cross_node_edges(spec) > 7
+    assert naive_rank_tree(spec, root=77).cross_node_edges(spec) > 7
+
+
+# ---------------------------------------------------------------------------
+# SMP embedding
+# ---------------------------------------------------------------------------
+
+
+def test_embedding_representatives():
+    spec = ClusterSpec(nodes=4, tasks_per_node=4)
+    trees = smp_embedding(spec, root=6)
+    # Root's node is represented by the root itself; others by their master.
+    assert trees.representatives[1] == 6
+    assert trees.representatives[0] == 0
+    assert trees.representatives[2] == 8
+    assert trees.is_representative(6)
+    assert not trees.is_representative(5)
+    assert trees.representative_of(7) == 6
+
+
+def test_embedding_inter_tree_spans_representatives():
+    spec = ClusterSpec(nodes=8, tasks_per_node=16)
+    trees = smp_embedding(spec, root=0)
+    assert trees.inter.root == 0
+    assert set(trees.inter.ranks) == {spec.first_rank(n) for n in range(8)}
+    assert trees.inter.height() == 3
+
+
+def test_embedding_intra_trees_cover_each_node():
+    spec = ClusterSpec(nodes=3, tasks_per_node=5)
+    trees = smp_embedding(spec, root=7)
+    for node in range(3):
+        node_tree = trees.intra[node]
+        assert set(node_tree.ranks) == set(spec.ranks_on_node(node))
+        assert node_tree.root == trees.representatives[node]
+
+
+def test_embedding_combined_is_valid_spanning_tree():
+    spec = ClusterSpec(nodes=4, tasks_per_node=4)
+    combined = smp_embedding(spec, root=5).combined()
+    assert combined.root == 5
+    assert set(combined.ranks) == set(range(16))
+    # Every non-root has exactly one parent and is reachable (height walks
+    # the whole tree or would KeyError).
+    assert combined.height() >= 1
+
+
+def test_embedding_height_optimal_for_powers_of_two():
+    # Paper Fig. 1: 128 tasks on 8x16 keeps the binomial height log2(128)=7.
+    spec = ClusterSpec(nodes=8, tasks_per_node=16)
+    trees = smp_embedding(spec, root=0)
+    assert trees.height() == 7
+
+
+def test_embedding_height_optimal_for_15_of_16():
+    # §2.1: the 15-of-16 daemon configuration is still optimal — the
+    # embedding is no taller than the flat binomial bound ceil(log2 120).
+    spec = ClusterSpec(nodes=8, tasks_per_node=15)
+    trees = smp_embedding(spec, root=0)
+    assert trees.height() <= math.ceil(math.log2(120))
+
+
+@given(
+    nodes=st.integers(1, 10),
+    tasks=st.integers(1, 20),
+    root_seed=st.integers(0, 10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_embedding_properties(nodes, tasks, root_seed):
+    spec = ClusterSpec(nodes=nodes, tasks_per_node=tasks)
+    root = root_seed % spec.total_tasks
+    trees = smp_embedding(spec, root)
+    combined = trees.combined()
+    # Spanning: every rank appears exactly once.
+    assert set(combined.ranks) == set(range(spec.total_tasks))
+    # Exactly n-1 network edges.
+    assert combined.cross_node_edges(spec) == nodes - 1
+    # Height bound: never worse than the two-level binomial sum.
+    bound = (math.ceil(math.log2(nodes)) if nodes > 1 else 0) + (
+        math.ceil(math.log2(tasks)) if tasks > 1 else 0
+    )
+    assert combined.height() <= max(bound, 0 if spec.total_tasks == 1 else 1)
+
+
+def test_embedding_family_selection():
+    spec = ClusterSpec(nodes=4, tasks_per_node=4)
+    flat_intra = smp_embedding(spec, 0, intra_family="flat")
+    for node_tree in flat_intra.intra.values():
+        assert node_tree.height() <= 1
+    fib_inter = smp_embedding(spec, 0, inter_family="fibonacci")
+    assert fib_inter.inter.size == 4
