@@ -23,7 +23,25 @@ from dataclasses import dataclass, field
 from repro.machine.cluster import Machine, Task
 from repro.sim.process import ProcessGenerator
 
-__all__ = ["Span", "Tracer", "TracedStack"]
+__all__ = ["Span", "Tracer", "TracedStack", "assign_glyphs"]
+
+
+def assign_glyphs(operations: typing.Iterable[str]) -> dict[str, str]:
+    """One *distinct* glyph per operation name.
+
+    Naive first-letter glyphs collide (``broadcast`` and ``barrier`` both
+    render ``B``); here each operation, in sorted order, takes the first
+    unused character from its own letters, falling back to digits.
+    """
+    glyphs: dict[str, str] = {}
+    used: set[str] = set()
+    for operation in sorted(set(operations)):
+        candidates = [ch.upper() for ch in operation if ch.isalnum()]
+        candidates += list("0123456789")
+        glyph = next((c for c in candidates if c not in used), "?")
+        glyphs[operation] = glyph
+        used.add(glyph)
+    return glyphs
 
 
 @dataclass(frozen=True)
@@ -174,7 +192,8 @@ class Tracer:
         end = max(s.end for s in spans)
         extent = max(end - start, 1e-12)
         ranks = sorted({s.rank for s in spans})[:max_lanes]
-        glyphs = {op: op[0].upper() for op in {s.operation for s in spans}}
+        operations = sorted({s.operation for s in spans})
+        glyphs = assign_glyphs(operations)
         lines = [
             f"t = {start * 1e6:.1f} .. {end * 1e6:.1f} us "
             f"({extent * 1e6:.1f} us span, {len(spans)} spans)"
@@ -191,6 +210,7 @@ class Tracer:
             lines.append(f"rank {rank:>4} " + "".join(lane))
         if len(ranks) < len({s.rank for s in spans}):
             lines.append(f"... ({len({s.rank for s in spans}) - len(ranks)} more lanes)")
+        lines.append("legend: " + "  ".join(f"{glyphs[op]}={op}" for op in operations))
         return "\n".join(lines)
 
 

@@ -8,7 +8,10 @@ Commands
 ``compare --op broadcast --bytes 16384 --nodes 8 --tasks 16``
     One data point across all three stacks.
 ``trace --op broadcast --bytes 8192 --nodes 2 --tasks 4 [--stack srm]``
-    Run one collective and print the per-rank timeline.
+    Run one collective and print the per-rank timeline
+    (``--chrome-out FILE`` additionally writes a Perfetto-loadable trace).
+``profile --op allreduce --bytes 16384 --nodes 8 --tasks 16``
+    Run one collective and print the critical-path phase breakdown.
 ``info``
     Dump the calibrated cost model and the default SRM configuration.
 """
@@ -77,7 +80,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _run_collective(args: argparse.Namespace):
+    """Build a machine + traced stack and run one collective call.
+
+    Shared by ``trace`` and ``profile``; returns the machine, the tracer,
+    and the :class:`~repro.machine.cluster.LaunchResult`.
+    """
     import numpy as np
 
     from repro.mpi.ops import SUM
@@ -104,7 +112,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         else:
             yield from traced.barrier(task)
 
-    machine.launch(program)
+    result = machine.launch(program)
+    return machine, tracer, result
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    machine, tracer, _result = _run_collective(args)
     print(tracer.timeline(args.op, width=args.width))
     totals = tracer.totals()
     print(
@@ -113,6 +126,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"{totals['mpi_sends']} MPI sends, {totals['interrupts']} interrupts"
     )
     print(f"makespan: {format_us(tracer.makespan(args.op))} us")
+    if args.chrome_out:
+        from repro.obs.export import chrome_trace, write_json
+
+        write_json(args.chrome_out, chrome_trace(machine, tracer))
+        print(f"wrote Perfetto trace to {args.chrome_out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.critical import critical_path
+    from repro.obs.export import chrome_trace, metrics_dump, write_json
+
+    machine, tracer, result = _run_collective(args)
+    path = critical_path(
+        machine.obs.recorder, start=result.start_time, end=result.end_time
+    )
+    rows = [
+        [phase, format_us(seconds), f"{100 * seconds / path.total:.1f}%"]
+        for phase, seconds in path.by_phase().items()
+    ]
+    print_table(
+        f"critical path: {args.op} of {format_bytes(args.bytes)} on {machine.spec}",
+        ["phase", "time [us]", "% of makespan"],
+        rows,
+    )
+    print(
+        f"makespan: {format_us(result.elapsed)} us, "
+        f"attributed: {100 * path.attributed / path.total:.1f}% "
+        f"({len(path.segments)} segments)"
+    )
+    print(f"\ntop {args.top} critical-path segments:")
+    for segment in path.top(args.top):
+        print(
+            f"  rank {segment.rank:>4}  {segment.phase:<20} "
+            f"{segment.start * 1e6:>10.2f} .. {segment.end * 1e6:<10.2f} "
+            f"({format_us(segment.duration)} us)"
+        )
+    if args.chrome_out:
+        write_json(args.chrome_out, chrome_trace(machine, tracer))
+        print(f"\nwrote Perfetto trace to {args.chrome_out}")
+    if args.json_out:
+        write_json(args.json_out, metrics_dump(machine, tracer))
+        print(f"wrote metrics dump to {args.json_out}")
     return 0
 
 
@@ -258,7 +314,27 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     trace.add_argument("--tasks", type=int, default=4)
     trace.add_argument("--stack", default="srm", choices=["srm", "ibm", "mpich"])
     trace.add_argument("--width", type=int, default=72)
+    trace.add_argument(
+        "--chrome-out", default=None, help="also write a Perfetto/Chrome trace JSON here"
+    )
     trace.set_defaults(handler=_cmd_trace)
+
+    profile = commands.add_parser(
+        "profile", help="run one collective and print its critical-path breakdown"
+    )
+    profile.add_argument("--op", default="allreduce", choices=["broadcast", "reduce", "allreduce", "barrier"])
+    profile.add_argument("--bytes", type=int, default=16384)
+    profile.add_argument("--nodes", type=int, default=8)
+    profile.add_argument("--tasks", type=int, default=16)
+    profile.add_argument("--stack", default="srm", choices=["srm", "ibm", "mpich"])
+    profile.add_argument("--top", type=int, default=10, help="longest segments to list")
+    profile.add_argument(
+        "--chrome-out", default=None, help="write a Perfetto/Chrome trace JSON here"
+    )
+    profile.add_argument(
+        "--json-out", default=None, help="write the JSON metrics dump here ('-' = stdout)"
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     info = commands.add_parser("info", help="dump cost model + SRM configuration")
     info.set_defaults(handler=_cmd_info)

@@ -26,6 +26,7 @@ from repro.core.internode.broadcast import _broadcast_large
 from repro.core.internode.reduce import srm_reduce
 from repro.core.smp.broadcast import fill_slot, smp_broadcast_chunk
 from repro.core.smp.reduce import smp_reduce_chunk
+from repro.obs.taxonomy import EXCHANGE_ROUND
 from repro.sim.events import Event
 from repro.sim.process import ProcessGenerator
 
@@ -127,17 +128,18 @@ def _allreduce_exchange(
                 dst_data, plan.fold_staging[folder][slot][:nbytes].view(dtype), op
             )
         for round_index in range(plan.rounds):
-            peer_node = plan.node_order[my_position ^ (1 << round_index)]
-            yield from task.lapi.put(
-                plan.masters[peer_node],
-                plan.exchange[peer_node][round_index][slot][:nbytes].view(dtype),
-                dst_data,
-                target_counter=plan.arrival[peer_node][round_index],
-            )
-            yield from task.lapi.waitcntr(plan.arrival[node][round_index], 1)
-            yield from task.reduce_into(
-                dst_data, plan.exchange[node][round_index][slot][:nbytes].view(dtype), op
-            )
+            with task.phase(EXCHANGE_ROUND):
+                peer_node = plan.node_order[my_position ^ (1 << round_index)]
+                yield from task.lapi.put(
+                    plan.masters[peer_node],
+                    plan.exchange[peer_node][round_index][slot][:nbytes].view(dtype),
+                    dst_data,
+                    target_counter=plan.arrival[peer_node][round_index],
+                )
+                yield from task.lapi.waitcntr(plan.arrival[node][round_index], 1)
+                yield from task.reduce_into(
+                    dst_data, plan.exchange[node][round_index][slot][:nbytes].view(dtype), op
+                )
         if folder is not None:
             # Send the finished result back into the folder's partial buffer.
             folder_partial = ctx.nodes[folder].partial_buffer(call, nbytes).view(dtype)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.context import BarrierPlan, SRMContext
 from repro.core.smp.barrier import smp_barrier
+from repro.obs.taxonomy import DISSEMINATION_ROUND
 from repro.sim.process import ProcessGenerator
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -47,11 +48,12 @@ def _dissemination(ctx: SRMContext, plan: BarrierPlan, task: "Task") -> ProcessG
     my_position = plan.position[node]
     participating = len(plan.node_order)
     for round_index in range(plan.rounds):
-        peer_node = plan.node_order[(my_position + (1 << round_index)) % participating]
-        yield from task.lapi.put(
-            plan.masters[peer_node],
-            _SIGNAL,
-            _SIGNAL,
-            target_counter=plan.counters[peer_node][round_index],
-        )
-        yield from task.lapi.waitcntr(plan.counters[node][round_index], 1)
+        with task.phase(DISSEMINATION_ROUND):
+            peer_node = plan.node_order[(my_position + (1 << round_index)) % participating]
+            yield from task.lapi.put(
+                plan.masters[peer_node],
+                _SIGNAL,
+                _SIGNAL,
+                target_counter=plan.counters[peer_node][round_index],
+            )
+            yield from task.lapi.waitcntr(plan.counters[node][round_index], 1)

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.config import SRMConfig
 from repro.core.context import BcastPlan, NodeState, SRMContext
 from repro.core.smp.broadcast import announce_slot, drain_slot, fill_slot, smp_broadcast_chunk
+from repro.obs.taxonomy import PIPELINE_CHUNK, STREAM_JOIN
 from repro.sim.events import Event
 from repro.sim.process import ProcessGenerator
 
@@ -89,9 +90,10 @@ def _broadcast_small(
     data = _bytes(buffer)
     if not plan.trees.is_representative(task.rank):
         for offset, size in chunks:
-            yield from smp_broadcast_chunk(
-                state, task, is_source=False, src_chunk=None, dst_chunk=data[offset : offset + size]
-            )
+            with task.phase(PIPELINE_CHUNK):
+                yield from smp_broadcast_chunk(
+                    state, task, is_source=False, src_chunk=None, dst_chunk=data[offset : offset + size]
+                )
         return
 
     spec = task.spec
@@ -102,41 +104,42 @@ def _broadcast_small(
     me = state.index_of(task)
 
     for offset, size in chunks:
-        view = data[offset : offset + size]
-        sequence = state.bcast_seq[me]
-        state.bcast_seq[me] = sequence + 1
-        slot = sequence % 2
+        with task.phase(PIPELINE_CHUNK):
+            view = data[offset : offset + size]
+            sequence = state.bcast_seq[me]
+            state.bcast_seq[me] = sequence + 1
+            slot = sequence % 2
 
-        if is_root:
-            relay_source = view
-        else:
-            assert edge is not None
-            # Step: wait for the parent's put to land in my shared buffer.
-            yield from task.lapi.waitcntr(edge.arrival[slot], 1)
-            relay_source = state.bcast_buf.data(slot, size)
-
-        # Fig. 4 order: send down the tree first, then the local fan-out.
-        for child_rank in children:
-            child_node = spec.node_of(child_rank)
-            child_edge = plan.edges[child_node]
-            child_state = ctx.nodes[child_node]
-            yield from task.lapi.waitcntr(child_edge.free[slot], 1)
-            yield from task.lapi.put(
-                child_rank,
-                child_state.bcast_buf.data(slot, size),
-                relay_source,
-                target_counter=child_edge.arrival[slot],
-            )
-
-        if state.size > 1:
             if is_root:
-                yield from fill_slot(state, task, slot, view)
+                relay_source = view
             else:
-                yield from announce_slot(state, task, slot)
-        if not is_root:
-            yield from task.copy(view, state.bcast_buf.data(slot, size))
-            assert parent is not None and edge is not None
-            _spawn_free_ack(state, task, slot, parent, edge.free[slot])
+                assert edge is not None
+                # Step: wait for the parent's put to land in my shared buffer.
+                yield from task.lapi.waitcntr(edge.arrival[slot], 1)
+                relay_source = state.bcast_buf.data(slot, size)
+
+            # Fig. 4 order: send down the tree first, then the local fan-out.
+            for child_rank in children:
+                child_node = spec.node_of(child_rank)
+                child_edge = plan.edges[child_node]
+                child_state = ctx.nodes[child_node]
+                yield from task.lapi.waitcntr(child_edge.free[slot], 1)
+                yield from task.lapi.put(
+                    child_rank,
+                    child_state.bcast_buf.data(slot, size),
+                    relay_source,
+                    target_counter=child_edge.arrival[slot],
+                )
+
+            if state.size > 1:
+                if is_root:
+                    yield from fill_slot(state, task, slot, view)
+                else:
+                    yield from announce_slot(state, task, slot)
+            if not is_root:
+                yield from task.copy(view, state.bcast_buf.data(slot, size))
+                assert parent is not None and edge is not None
+                _spawn_free_ack(state, task, slot, parent, edge.free[slot])
 
 
 def _spawn_free_ack(state: NodeState, task: "Task", slot: int, parent_rank: int, free_counter) -> None:
@@ -175,9 +178,10 @@ def _broadcast_large(
     data = _bytes(buffer)
     if not plan.trees.is_representative(task.rank):
         for offset, size in chunks:
-            yield from smp_broadcast_chunk(
-                state, task, is_source=False, src_chunk=None, dst_chunk=data[offset : offset + size]
-            )
+            with task.phase(PIPELINE_CHUNK):
+                yield from smp_broadcast_chunk(
+                    state, task, is_source=False, src_chunk=None, dst_chunk=data[offset : offset + size]
+                )
         return
 
     is_root = task.rank == plan.root
@@ -209,18 +213,21 @@ def _broadcast_large(
     me = state.index_of(task)
     if state.size > 1:
         for index, (offset, size) in enumerate(chunks):
-            if arrival is not None:
-                yield from task.lapi.watch(arrival, base + index + 1)
-            elif root_chunk_ready is not None:
-                yield root_chunk_ready[index]
-            sequence = state.bcast_seq[me]
-            state.bcast_seq[me] = sequence + 1
-            yield from fill_slot(state, task, sequence % 2, data[offset : offset + size])
+            with task.phase(PIPELINE_CHUNK):
+                if arrival is not None:
+                    yield from task.lapi.watch(arrival, base + index + 1)
+                elif root_chunk_ready is not None:
+                    yield root_chunk_ready[index]
+                sequence = state.bcast_seq[me]
+                state.bcast_seq[me] = sequence + 1
+                yield from fill_slot(state, task, sequence % 2, data[offset : offset + size])
     elif arrival is not None:
         yield from task.lapi.watch(arrival, base + len(chunks))
 
-    for forwarder in forwarders:
-        yield forwarder
+    if forwarders:
+        with task.phase(STREAM_JOIN):
+            for forwarder in forwarders:
+                yield forwarder
     plan.stream_base[my_node] = base + len(chunks)
 
 
@@ -240,33 +247,39 @@ def _stream_to_child(
     yield from task.lapi.waitcntr(plan.address_arrival[child_node], 1)
     child_data = _bytes(plan.user_buffers[child_node])
     child_arrival = plan.stream_arrival[child_node]
+    window_depth = task.obs.put_window_depth
     window: list = []
     previous_signal: Event | None = None
     for index, (offset, size) in enumerate(chunks):
-        if my_arrival is not None:
-            yield from task.lapi.watch(my_arrival, my_base + index + 1)
-        elif root_chunk_ready is not None:
-            yield root_chunk_ready[index]
-        if len(window) >= ctx.config.put_window:
-            yield window.pop(0)
-        delivery = yield from task.lapi.put(
-            child_rank,
-            child_data[offset : offset + size],
-            data[offset : offset + size],
-        )
-        window.append(delivery)
-        # The SP switch delivers puts on one route in FIFO order; the fluid
-        # contention model can complete a small trailing chunk "first", so
-        # the cumulative arrival counter is bumped strictly in chunk order:
-        # each chunk's signal waits for its delivery AND its predecessor.
-        signal = Event(task.engine, name=f"fifo:{child_rank}:{index}")
-        task.engine.process(
-            _in_order_signal(delivery, previous_signal, child_arrival, signal),
-            name=f"fifo-signal->{child_rank}",
-        )
-        previous_signal = signal
+        with task.phase(PIPELINE_CHUNK):
+            if my_arrival is not None:
+                yield from task.lapi.watch(my_arrival, my_base + index + 1)
+            elif root_chunk_ready is not None:
+                yield root_chunk_ready[index]
+            if len(window) >= ctx.config.put_window:
+                yield window.pop(0)
+                window_depth.observe(len(window))
+            delivery = yield from task.lapi.put(
+                child_rank,
+                child_data[offset : offset + size],
+                data[offset : offset + size],
+            )
+            window.append(delivery)
+            window_depth.observe(len(window))
+            # The SP switch delivers puts on one route in FIFO order; the
+            # fluid contention model can complete a small trailing chunk
+            # "first", so the cumulative arrival counter is bumped strictly
+            # in chunk order: each chunk's signal waits for its delivery AND
+            # its predecessor.
+            signal = Event(task.engine, name=f"fifo:{child_rank}:{index}")
+            task.engine.process(
+                _in_order_signal(delivery, previous_signal, child_arrival, signal),
+                name=f"fifo-signal->{child_rank}",
+            )
+            previous_signal = signal
     for delivery in window:
         yield delivery
+    window_depth.observe(0)
 
 
 def _in_order_signal(delivery, previous_signal: Event | None, counter, signal: Event) -> ProcessGenerator:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.context import NodeState, ReducePlan, SRMContext
 from repro.core.smp.reduce import smp_reduce_chunk
+from repro.obs.taxonomy import PIPELINE_CHUNK
 from repro.sim.events import Event
 from repro.sim.process import ProcessGenerator
 
@@ -99,9 +100,10 @@ def _reduce_body(
 
     if not plan.trees.is_representative(task.rank):
         for offset, size in chunks:
-            yield from smp_reduce_chunk(
-                state, task, intra_tree, elements(offset, size, src_data), op
-            )
+            with task.phase(PIPELINE_CHUNK):
+                yield from smp_reduce_chunk(
+                    state, task, intra_tree, elements(offset, size, src_data), op
+                )
         return
 
     is_root = task.rank == plan.root
@@ -113,39 +115,40 @@ def _reduce_body(
         dst_data = _flat(dst)
 
     for index, (offset, size) in enumerate(chunks):
-        src_chunk = elements(offset, size, src_data)
-        if is_root:
-            target: np.ndarray | None = elements(offset, size, dst_data)
-        elif children:
-            # Needs a writable accumulator for the inter-node combines.
-            target = state.partial_buffer(index, size).view(dtype)
-        else:
-            target = None  # zero-copy: the slot/source doubles as put source
-        partial = yield from smp_reduce_chunk(state, task, intra_tree, src_chunk, op, target)
-        assert partial is not None
+        with task.phase(PIPELINE_CHUNK):
+            src_chunk = elements(offset, size, src_data)
+            if is_root:
+                target: np.ndarray | None = elements(offset, size, dst_data)
+            elif children:
+                # Needs a writable accumulator for the inter-node combines.
+                target = state.partial_buffer(index, size).view(dtype)
+            else:
+                target = None  # zero-copy: the slot/source doubles as put source
+            partial = yield from smp_reduce_chunk(state, task, intra_tree, src_chunk, op, target)
+            assert partial is not None
 
-        # Combine the inter-node children's staged partials.
-        for child_rank in children:
-            sequence = plan.recv_seq.get(child_rank, 0)
-            plan.recv_seq[child_rank] = sequence + 1
-            slot = sequence % 2
-            yield from task.lapi.waitcntr(plan.arrival[child_rank][slot], 1)
-            staged = plan.staging[child_rank][slot][:size].view(dtype)
-            yield from task.reduce_into(partial, staged, op)
-            yield from task.lapi.put(
-                child_rank, _SIGNAL, _SIGNAL, target_counter=plan.free[child_rank][slot]
-            )
+            # Combine the inter-node children's staged partials.
+            for child_rank in children:
+                sequence = plan.recv_seq.get(child_rank, 0)
+                plan.recv_seq[child_rank] = sequence + 1
+                slot = sequence % 2
+                yield from task.lapi.waitcntr(plan.arrival[child_rank][slot], 1)
+                staged = plan.staging[child_rank][slot][:size].view(dtype)
+                yield from task.reduce_into(partial, staged, op)
+                yield from task.lapi.put(
+                    child_rank, _SIGNAL, _SIGNAL, target_counter=plan.free[child_rank][slot]
+                )
 
-        if parent is not None:
-            sequence = plan.sent_seq.get(task.rank, 0)
-            plan.sent_seq[task.rank] = sequence + 1
-            slot = sequence % 2
-            yield from task.lapi.waitcntr(plan.free[task.rank][slot], 1)
-            yield from task.lapi.put(
-                parent,
-                plan.staging[task.rank][slot][:size].view(dtype),
-                partial,
-                target_counter=plan.arrival[task.rank][slot],
-            )
-        elif root_chunk_done is not None:
-            root_chunk_done[index].succeed()
+            if parent is not None:
+                sequence = plan.sent_seq.get(task.rank, 0)
+                plan.sent_seq[task.rank] = sequence + 1
+                slot = sequence % 2
+                yield from task.lapi.waitcntr(plan.free[task.rank][slot], 1)
+                yield from task.lapi.put(
+                    parent,
+                    plan.staging[task.rank][slot][:size].view(dtype),
+                    partial,
+                    target_counter=plan.arrival[task.rank][slot],
+                )
+            elif root_chunk_done is not None:
+                root_chunk_done[index].succeed()

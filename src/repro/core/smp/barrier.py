@@ -11,6 +11,7 @@ from __future__ import annotations
 import typing
 
 from repro.core.context import NodeState
+from repro.obs.taxonomy import SMP_BARRIER
 from repro.sim.process import ProcessGenerator
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -28,13 +29,14 @@ def smp_barrier(
     inter-node phase) after local check-in and before the release."""
     flags = state.barrier_flags
     me = state.index_of(task)
-    if state.is_master(task):
-        if state.size > 1:
-            yield from flags.wait_all(task, lambda v: v == 1, skip=me)
-        if between is not None:
-            yield from between
-        if state.size > 1:
-            yield from flags.set_all(task, 0, skip=me)
-    else:
-        yield from flags[me].set(task, 1)
-        yield from flags[me].wait_value(task, 0)
+    with task.phase(SMP_BARRIER):
+        if state.is_master(task):
+            if state.size > 1:
+                yield from flags.wait_all(task, lambda v: v == 1, skip=me)
+            if between is not None:
+                yield from between
+            if state.size > 1:
+                yield from flags.set_all(task, 0, skip=me)
+        else:
+            yield from flags[me].set(task, 1)
+            yield from flags[me].wait_value(task, 0)

@@ -30,6 +30,7 @@ import typing
 import numpy as np
 
 from repro.core.context import NodeState
+from repro.obs.taxonomy import SLOT_ANNOUNCE, SLOT_DRAIN, SLOT_FILL
 from repro.shmem.flags import FlagArray
 from repro.shmem.segment import SharedSegment
 from repro.sim.process import ProcessGenerator
@@ -51,9 +52,10 @@ def fill_slot(state: NodeState, task: "Task", slot: int, src_chunk: np.ndarray) 
     """Root side: wait for buffer ``slot`` to be free, fill it, set READY."""
     flags = state.bcast_buf.flags(slot)
     me = state.index_of(task)
-    yield from flags.wait_all(task, lambda v: v == 0, skip=me)
-    yield from task.copy(state.bcast_buf.data(slot, src_chunk.nbytes), src_chunk)
-    yield from flags.set_all(task, 1, skip=me)
+    with task.phase(SLOT_FILL):
+        yield from flags.wait_all(task, lambda v: v == 0, skip=me)
+        yield from task.copy(state.bcast_buf.data(slot, src_chunk.nbytes), src_chunk)
+        yield from flags.set_all(task, 1, skip=me)
 
 
 def announce_slot(state: NodeState, task: "Task", slot: int) -> ProcessGenerator:
@@ -64,15 +66,17 @@ def announce_slot(state: NodeState, task: "Task", slot: int) -> ProcessGenerator
     refilled it.
     """
     flags = state.bcast_buf.flags(slot)
-    yield from flags.set_all(task, 1, skip=state.index_of(task))
+    with task.phase(SLOT_ANNOUNCE):
+        yield from flags.set_all(task, 1, skip=state.index_of(task))
 
 
 def drain_slot(state: NodeState, task: "Task", slot: int, dst_chunk: np.ndarray) -> ProcessGenerator:
     """Reader side: wait READY, copy the chunk out, clear own flag."""
     flag = state.bcast_buf.flags(slot)[state.index_of(task)]
-    yield from flag.wait_value(task, 1)
-    yield from task.copy(dst_chunk, state.bcast_buf.data(slot, dst_chunk.nbytes))
-    yield from flag.set(task, 0)
+    with task.phase(SLOT_DRAIN):
+        yield from flag.wait_value(task, 1)
+        yield from task.copy(dst_chunk, state.bcast_buf.data(slot, dst_chunk.nbytes))
+        yield from flag.set(task, 0)
 
 
 def smp_broadcast_chunk(

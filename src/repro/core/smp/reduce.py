@@ -25,6 +25,7 @@ import typing
 import numpy as np
 
 from repro.core.context import NodeState
+from repro.obs.taxonomy import SMP_REDUCE
 from repro.sim.process import ProcessGenerator
 from repro.trees.base import RankTree
 
@@ -50,6 +51,19 @@ def smp_reduce_chunk(
     omitted, the root accumulates in its own shared slot — or, on a
     single-task node, returns its source chunk directly (zero copies).
     """
+    with task.phase(SMP_REDUCE):
+        result = yield from _smp_reduce_chunk(state, task, tree, src_chunk, op, target)
+    return result
+
+
+def _smp_reduce_chunk(
+    state: NodeState,
+    task: "Task",
+    tree: RankTree,
+    src_chunk: np.ndarray,
+    op: "ReduceOp",
+    target: np.ndarray | None,
+) -> typing.Generator[typing.Any, typing.Any, np.ndarray | None]:
     me = state.index_of(task)
     sequence = state.reduce_seq[me]
     state.reduce_seq[me] = sequence + 1

@@ -31,6 +31,15 @@ from repro.errors import ProtocolError
 from repro.lapi.counters import LapiCounter
 from repro.machine.memops import raw_copyto
 from repro.machine.network import network_transfer
+from repro.obs.taxonomy import (
+    AMSEND,
+    COUNTER_WAIT,
+    FLOW_PUT_COMPLETION,
+    FLOW_PUT_COUNTER,
+    GET_ISSUE,
+    PUT_ISSUE,
+    RMW,
+)
 from repro.sim.process import Process, ProcessGenerator
 from repro.sim.resources import Gate
 
@@ -62,6 +71,7 @@ class LapiEndpoint:
         self.task = task
         self.engine = task.engine
         self.cost = task.cost
+        self.obs = task.obs
         self.interrupts_enabled = True
         self.stats = LapiStats()
         self._call_depth = 0
@@ -104,14 +114,17 @@ class LapiEndpoint:
         While blocked the task counts as *inside a LAPI call*, so the
         dispatcher polls and incoming data completes without interrupts.
         """
+        start = self.engine.now
         self._enter_call()
         try:
-            pending = counter.event_at(value)
-            if pending is not None:
-                yield pending
+            with self.task.phase(COUNTER_WAIT):
+                pending = counter.event_at(value)
+                if pending is not None:
+                    yield pending
             counter.consume(value)
         finally:
             self._exit_call()
+        self.obs.counter_wait_seconds.observe(self.engine.now - start)
 
     def watch(self, counter: LapiCounter, threshold: int) -> ProcessGenerator:
         """Block until ``counter >= threshold`` *without* consuming it.
@@ -121,13 +134,16 @@ class LapiEndpoint:
         stays readable by other watchers — used by the streamed large-message
         protocols where one arrival counter feeds several consumers.
         """
+        start = self.engine.now
         self._enter_call()
         try:
-            pending = counter.event_at(threshold)
-            if pending is not None:
-                yield pending
+            with self.task.phase(COUNTER_WAIT):
+                pending = counter.event_at(threshold)
+                if pending is not None:
+                    yield pending
         finally:
             self._exit_call()
+        self.obs.counter_wait_seconds.observe(self.engine.now - start)
 
     def probe(self) -> ProcessGenerator:
         """One explicit progress poll (``LAPI_Probe``): releases any
@@ -145,6 +161,7 @@ class LapiEndpoint:
             return
         if self.interrupts_enabled:
             self.task.stats.interrupts += 1
+            self.obs.interrupts.inc()
             yield self.engine.timeout(self.cost.interrupt_cost)
             return
         self.stats.stalled_deliveries += 1
@@ -176,11 +193,16 @@ class LapiEndpoint:
         target_task = machine.task(target_rank)
         nbytes = int(src.nbytes)
         snapshot = np.array(src, copy=True)
-        yield self.engine.timeout(self.cost.rma_origin_overhead)
+        issue_time = self.engine.now
+        with self.task.phase(PUT_ISSUE):
+            yield self.engine.timeout(self.cost.rma_origin_overhead)
         if origin_counter is not None:
             origin_counter.increment()
         self.stats.puts += 1
         self.stats.bytes_put += nbytes
+        self.obs.puts.inc()
+        self.obs.bytes_put.inc(nbytes)
+        self.obs.put_sizes.observe(nbytes)
 
         def deliver() -> ProcessGenerator:
             if target_task.node is self.task.node:
@@ -192,8 +214,17 @@ class LapiEndpoint:
                 yield from target_task.lapi._cooperate()
                 yield self.engine.timeout(self.cost.rma_target_overhead)
             raw_copyto(dst, snapshot)
+            landed_time = self.engine.now
             if target_counter is not None:
                 target_counter.increment()
+                self.obs.flow(
+                    FLOW_PUT_COUNTER,
+                    self.task.rank,
+                    issue_time,
+                    target_rank,
+                    self.engine.now,
+                    detail=target_counter.name or "",
+                )
                 yield self.engine.timeout(self.cost.counter_update_cost)
             if completion_counter is not None:
                 if target_task.node is not self.task.node:
@@ -202,6 +233,14 @@ class LapiEndpoint:
                     yield self.engine.timeout(self.cost.net_latency)
                     yield from self._cooperate()
                 completion_counter.increment()
+                self.obs.flow(
+                    FLOW_PUT_COMPLETION,
+                    target_rank,
+                    landed_time,
+                    self.task.rank,
+                    self.engine.now,
+                    detail=completion_counter.name or "",
+                )
 
         return self.engine.process(deliver(), name=f"put:{self.task.rank}->{target_rank}")
 
@@ -221,9 +260,12 @@ class LapiEndpoint:
         machine = self.task.machine
         target_task = machine.task(target_rank)
         nbytes = int(dst.nbytes)
-        yield self.engine.timeout(self.cost.rma_origin_overhead)
+        issue_time = self.engine.now
+        with self.task.phase(GET_ISSUE):
+            yield self.engine.timeout(self.cost.rma_origin_overhead)
         self.stats.gets += 1
         self.stats.bytes_got += nbytes
+        self.obs.gets.inc()
 
         def deliver() -> ProcessGenerator:
             if target_task.node is self.task.node:
@@ -239,6 +281,16 @@ class LapiEndpoint:
             raw_copyto(dst, src)
             if completion_counter is not None:
                 completion_counter.increment()
+                # The cause chain for a get leads back to the origin's own
+                # issue (the target is passive in one-sided reads).
+                self.obs.flow(
+                    FLOW_PUT_COUNTER,
+                    self.task.rank,
+                    issue_time,
+                    self.task.rank,
+                    self.engine.now,
+                    detail=completion_counter.name or "",
+                )
 
         return self.engine.process(deliver(), name=f"get:{self.task.rank}<-{target_rank}")
 
@@ -253,16 +305,17 @@ class LapiEndpoint:
         machine = self.task.machine
         target_task = machine.task(target_rank)
         self.stats.rmws += 1
-        yield self.engine.timeout(self.cost.rma_origin_overhead)
-        if target_task.node is not self.task.node:
-            yield self.engine.timeout(self.cost.net_latency)
-            yield from target_task.lapi._cooperate()
-            yield self.engine.timeout(self.cost.rma_target_overhead)
-        old_value = counter.value
-        counter.increment(amount)
-        if target_task.node is not self.task.node:
-            yield self.engine.timeout(self.cost.net_latency)
-            yield from self._cooperate()
+        with self.task.phase(RMW):
+            yield self.engine.timeout(self.cost.rma_origin_overhead)
+            if target_task.node is not self.task.node:
+                yield self.engine.timeout(self.cost.net_latency)
+                yield from target_task.lapi._cooperate()
+                yield self.engine.timeout(self.cost.rma_target_overhead)
+            old_value = counter.value
+            counter.increment(amount)
+            if target_task.node is not self.task.node:
+                yield self.engine.timeout(self.cost.net_latency)
+                yield from self._cooperate()
         return old_value
 
     def amsend(
@@ -276,7 +329,8 @@ class LapiEndpoint:
         once the header (plus ``nbytes`` of payload timing) arrives."""
         machine = self.task.machine
         target_task = machine.task(target_rank)
-        yield self.engine.timeout(self.cost.rma_origin_overhead)
+        with self.task.phase(AMSEND):
+            yield self.engine.timeout(self.cost.rma_origin_overhead)
         self.stats.amsends += 1
 
         def deliver() -> ProcessGenerator:

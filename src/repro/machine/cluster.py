@@ -23,6 +23,8 @@ from repro.errors import ConfigurationError, ProtocolError
 from repro.machine.costmodel import CostModel
 from repro.machine.memops import raw_copyto
 from repro.machine.spec import ClusterSpec
+from repro.obs import Observability
+from repro.obs.taxonomy import REDUCE_APPLY, SHM_COPY
 from repro.sim import Engine, SharedBandwidth
 from repro.sim.process import ProcessGenerator
 
@@ -82,6 +84,7 @@ class Task:
         self.engine: Engine = machine.engine
         self.cost: CostModel = machine.cost
         self.spec: ClusterSpec = machine.spec
+        self.obs: Observability = machine.obs
         self.stats = TaskStats()
         # Substrate endpoints are attached by Machine after all tasks exist
         # (they need the full task table for addressing).
@@ -104,6 +107,10 @@ class Task:
         """True when ``other_rank`` shares this task's SMP node."""
         return self.spec.same_node(self.rank, other_rank)
 
+    def phase(self, name: str) -> typing.ContextManager:
+        """Open a named observability phase span (``with task.phase(...)``)."""
+        return self.obs.phase(self, name)
+
     # -- timed data movement -------------------------------------------------
 
     def copy(
@@ -120,11 +127,14 @@ class Task:
                 f"copy size mismatch: dst {dst.nbytes} B vs src {src.nbytes} B"
             )
         nbytes = dst.nbytes
-        yield self.engine.timeout(self.cost.sm_copy_latency)
-        yield self.node.bus.transfer(nbytes, max_rate=self.cost.sm_copy_bandwidth)
+        with self.phase(SHM_COPY):
+            yield self.engine.timeout(self.cost.sm_copy_latency)
+            yield self.node.bus.transfer(nbytes, max_rate=self.cost.sm_copy_bandwidth)
         raw_copyto(dst, src)
         self.stats.copies += 1
         self.stats.bytes_copied += nbytes
+        self.obs.copies.inc()
+        self.obs.bytes_copied.inc(nbytes)
 
     def reduce_into(
         self,
@@ -141,11 +151,14 @@ class Task:
                 f"reduce size mismatch: dst {dst.nbytes} B vs src {src.nbytes} B"
             )
         nbytes = dst.nbytes
-        yield self.engine.timeout(self.cost.sm_copy_latency)
-        yield self.node.bus.transfer(nbytes, max_rate=self.cost.reduce_op_bandwidth)
+        with self.phase(REDUCE_APPLY):
+            yield self.engine.timeout(self.cost.sm_copy_latency)
+            yield self.node.bus.transfer(nbytes, max_rate=self.cost.reduce_op_bandwidth)
         op(dst, src)
         self.stats.reduce_ops += 1
         self.stats.bytes_reduced += nbytes
+        self.obs.reduce_ops.inc()
+        self.obs.bytes_reduced.inc(nbytes)
 
     def combine_into(
         self,
@@ -161,11 +174,14 @@ class Task:
                 f"combine size mismatch: {dst.nbytes}/{a.nbytes}/{b.nbytes} B"
             )
         nbytes = dst.nbytes
-        yield self.engine.timeout(self.cost.sm_copy_latency)
-        yield self.node.bus.transfer(nbytes, max_rate=self.cost.reduce_op_bandwidth)
+        with self.phase(REDUCE_APPLY):
+            yield self.engine.timeout(self.cost.sm_copy_latency)
+            yield self.node.bus.transfer(nbytes, max_rate=self.cost.reduce_op_bandwidth)
         op.combine_into(dst, a, b)
         self.stats.reduce_ops += 1
         self.stats.bytes_reduced += nbytes
+        self.obs.reduce_ops.inc()
+        self.obs.bytes_reduced.inc(nbytes)
 
     def compute(self, seconds: float) -> ProcessGenerator:
         """Model ``seconds`` of pure CPU work (no bus traffic)."""
@@ -206,10 +222,15 @@ class Machine:
         spec: ClusterSpec,
         cost: CostModel | None = None,
         seed: int = 0,
+        observe: bool = True,
     ) -> None:
         self.spec = spec
         self.cost = cost if cost is not None else CostModel.ibm_sp_colony()
         self.engine = Engine()
+        #: Always-on metrics + phase recorder; ``observe=False`` swaps in
+        #: no-op instruments (used to assert observation never perturbs
+        #: simulated results).
+        self.obs = Observability(self.engine, enabled=observe)
         self.rng = np.random.default_rng(seed)
         self.nodes = [Node(self, index) for index in range(spec.nodes)]
         self.tasks = [Task(self, rank) for rank in range(spec.total_tasks)]

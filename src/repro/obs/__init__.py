@@ -1,0 +1,39 @@
+"""``repro.obs`` — the observability subsystem.
+
+Phase-level tracing, an always-on metrics registry, causal flow links, a
+critical-path profiler, and Perfetto/JSON exports for the SRM collective
+stack.  See ``docs/observability.md`` for the guide and
+:mod:`repro.obs.taxonomy` for the phase vocabulary.
+"""
+
+from repro.obs.critical import CriticalPath, Segment, critical_path
+from repro.obs.export import chrome_trace, metrics_dump, write_json
+from repro.obs.hub import Observability
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TimeWeightedHistogram,
+)
+from repro.obs.spans import FlowLink, PhaseRecorder, PhaseSpan
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeWeightedHistogram",
+    "PhaseRecorder",
+    "PhaseSpan",
+    "FlowLink",
+    "CriticalPath",
+    "Segment",
+    "critical_path",
+    "chrome_trace",
+    "metrics_dump",
+    "write_json",
+]

@@ -1,0 +1,128 @@
+"""The canonical phase and flow taxonomy of the SRM observability layer.
+
+Every protocol layer annotates its work with phases from this vocabulary so
+exports and the critical-path profiler can aggregate across operations:
+
+**Substrate phases** (recorded by the machine / substrate layers):
+
+* ``shm-copy`` — a timed shared-memory copy (:meth:`Task.copy`);
+* ``reduce-apply`` — operator execution (:meth:`Task.reduce_into` /
+  :meth:`Task.combine_into`);
+* ``flag-wait`` / ``flag-set`` — spinning on / storing shared-memory flags;
+* ``counter-wait`` — blocked in ``LAPI_Waitcntr`` / a ``LAPI_Getcntr`` poll;
+* ``put-issue`` / ``get-issue`` / ``rmw`` / ``amsend`` — origin-side RMA
+  injection overhead (the delivery itself is tracked by flow links).
+
+**Protocol phases** (recorded by ``core/smp`` and ``core/internode``):
+
+* ``pipeline-chunk`` — one chunk's traversal of an integrated protocol;
+* ``slot-fill`` / ``slot-drain`` / ``slot-announce`` — the Fig. 3 SMP
+  broadcast primitives;
+* ``smp-reduce`` — one chunk of the Fig. 2 SMP reduce tree;
+* ``smp-barrier`` — the flat flag barrier (§2.2);
+* ``exchange-round`` — one recursive-doubling round of the small allreduce;
+* ``dissemination-round`` — one round of the inter-node barrier;
+* ``stream-join`` — a master joining its spawned large-message forwarders.
+
+**Flow kinds** (causal links between ranks):
+
+* ``put-counter`` — a LAPI put's data landing and incrementing its target
+  counter at the remote task;
+* ``put-completion`` — the completion ack riding back to the origin;
+* ``flag-wakeup`` — a shared-flag store releasing a spinning waiter;
+* ``put-flight`` — the synthetic phase the critical-path walker charges for
+  the network time between a put's injection and its remote arrival.
+
+``WAIT_PHASES`` marks the phases the critical-path walker treats as blocking:
+when the walk lands inside one, it follows the flow link that released the
+waiter instead of continuing on the same rank.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SHM_COPY",
+    "REDUCE_APPLY",
+    "FLAG_WAIT",
+    "FLAG_SET",
+    "COUNTER_WAIT",
+    "PUT_ISSUE",
+    "GET_ISSUE",
+    "RMW",
+    "AMSEND",
+    "PIPELINE_CHUNK",
+    "SLOT_FILL",
+    "SLOT_DRAIN",
+    "SLOT_ANNOUNCE",
+    "SMP_REDUCE",
+    "SMP_BARRIER",
+    "EXCHANGE_ROUND",
+    "DISSEMINATION_ROUND",
+    "STREAM_JOIN",
+    "FLOW_PUT_COUNTER",
+    "FLOW_PUT_COMPLETION",
+    "FLOW_FLAG_WAKEUP",
+    "PUT_FLIGHT",
+    "UNTRACKED",
+    "WAIT_PHASES",
+    "ALL_PHASES",
+]
+
+# -- substrate phases -------------------------------------------------------
+SHM_COPY = "shm-copy"
+REDUCE_APPLY = "reduce-apply"
+FLAG_WAIT = "flag-wait"
+FLAG_SET = "flag-set"
+COUNTER_WAIT = "counter-wait"
+PUT_ISSUE = "put-issue"
+GET_ISSUE = "get-issue"
+RMW = "rmw"
+AMSEND = "amsend"
+
+# -- protocol phases --------------------------------------------------------
+PIPELINE_CHUNK = "pipeline-chunk"
+SLOT_FILL = "slot-fill"
+SLOT_DRAIN = "slot-drain"
+SLOT_ANNOUNCE = "slot-announce"
+SMP_REDUCE = "smp-reduce"
+SMP_BARRIER = "smp-barrier"
+EXCHANGE_ROUND = "exchange-round"
+DISSEMINATION_ROUND = "dissemination-round"
+STREAM_JOIN = "stream-join"
+
+# -- flow kinds -------------------------------------------------------------
+FLOW_PUT_COUNTER = "put-counter"
+FLOW_PUT_COMPLETION = "put-completion"
+FLOW_FLAG_WAKEUP = "flag-wakeup"
+
+# -- synthetic critical-path buckets ---------------------------------------
+PUT_FLIGHT = "put-flight"
+UNTRACKED = "(untracked)"
+
+#: Phases whose time means "blocked on someone else": the critical-path
+#: walker follows the releasing flow link out of these.
+WAIT_PHASES = frozenset({FLAG_WAIT, COUNTER_WAIT, STREAM_JOIN})
+
+#: The full phase vocabulary (for validation and docs).
+ALL_PHASES = frozenset(
+    {
+        SHM_COPY,
+        REDUCE_APPLY,
+        FLAG_WAIT,
+        FLAG_SET,
+        COUNTER_WAIT,
+        PUT_ISSUE,
+        GET_ISSUE,
+        RMW,
+        AMSEND,
+        PIPELINE_CHUNK,
+        SLOT_FILL,
+        SLOT_DRAIN,
+        SLOT_ANNOUNCE,
+        SMP_REDUCE,
+        SMP_BARRIER,
+        EXCHANGE_ROUND,
+        DISSEMINATION_ROUND,
+        STREAM_JOIN,
+    }
+)

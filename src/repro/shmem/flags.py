@@ -29,6 +29,7 @@ from __future__ import annotations
 import typing
 
 from repro.errors import ProtocolError
+from repro.obs.taxonomy import FLAG_SET, FLAG_WAIT, FLOW_FLAG_WAKEUP
 from repro.sim.events import Event
 from repro.sim.process import ProcessGenerator
 
@@ -47,9 +48,10 @@ class SharedFlag:
         self.node = node
         self.engine = node.machine.engine
         self.cost = node.machine.cost
+        self.obs = node.machine.obs
         self.name = name
         self._value = int(initial)
-        self._waiters: list[tuple[Predicate, Event]] = []
+        self._waiters: list[tuple[Predicate, Event, int | None]] = []
 
     @property
     def value(self) -> int:
@@ -65,32 +67,48 @@ class SharedFlag:
                 f"task {task.rank} on node {task.node.index} cannot touch flag "
                 f"on node {self.node.index}: flags are node-local shared memory"
             )
-        yield self.engine.timeout(self.cost.flag_set_cost)
-        self.store(value)
+        with task.phase(FLAG_SET):
+            yield self.engine.timeout(self.cost.flag_set_cost)
+        self.obs.flag_sets.inc()
+        self.store(value, writer_rank=task.rank)
 
-    def store(self, value: int) -> None:
+    def store(self, value: int, writer_rank: int | None = None) -> None:
         """Untimed store — used when the cost is accounted elsewhere (e.g. a
-        LAPI put that lands data and flips a flag in one DMA)."""
+        LAPI put that lands data and flips a flag in one DMA).
+
+        ``writer_rank`` attributes the resulting waiter wakeups to the
+        storing task in the recorded flow links.
+        """
         self._value = int(value)
         if not self._waiters:
             return
-        still_waiting: list[tuple[Predicate, Event]] = []
-        for predicate, event in self._waiters:
+        now = self.engine.now
+        still_waiting: list[tuple[Predicate, Event, int | None]] = []
+        for predicate, event, waiter_rank in self._waiters:
             if predicate(self._value):
                 event.succeed(self._value)
+                if writer_rank is not None and waiter_rank is not None:
+                    self.obs.flow(
+                        FLOW_FLAG_WAKEUP,
+                        writer_rank,
+                        now,
+                        waiter_rank,
+                        now,
+                        detail=self.name or "",
+                    )
             else:
-                still_waiting.append((predicate, event))
+                still_waiting.append((predicate, event, waiter_rank))
         self._waiters = still_waiting
 
     # -- waiter side ---------------------------------------------------------
 
-    def _event_when(self, predicate: Predicate) -> Event | None:
+    def _event_when(self, predicate: Predicate, waiter_rank: int | None = None) -> Event | None:
         """Internal: event firing when ``predicate(value)`` becomes true, or
         ``None`` if it is already true.  No detection cost included."""
         if predicate(self._value):
             return None
         event = Event(self.engine, name=f"flag:{self.name}")
-        self._waiters.append((predicate, event))
+        self._waiters.append((predicate, event, waiter_rank))
         return event
 
     def wait_for(self, task: "Task", predicate: Predicate) -> ProcessGenerator:
@@ -100,10 +118,12 @@ class SharedFlag:
                 f"task {task.rank} cannot spin on a flag of node {self.node.index}"
             )
         start = self.engine.now
-        pending = self._event_when(predicate)
-        if pending is not None:
-            yield pending
-        yield self.engine.timeout(self._detection_delay(task, start))
+        with task.phase(FLAG_WAIT):
+            pending = self._event_when(predicate, waiter_rank=task.rank)
+            if pending is not None:
+                yield pending
+            yield self.engine.timeout(self._detection_delay(task, start))
+        self.obs.flag_wait_seconds.observe(self.engine.now - start)
         if not predicate(self._value):  # pragma: no cover - single-writer protocols
             raise ProtocolError(f"flag {self.name!r} changed under a waiter")
         return self._value
@@ -118,6 +138,7 @@ class SharedFlag:
         spin_window = self.cost.spin_yield_threshold * self.cost.flag_poll_interval
         if waited > spin_window:
             task.stats.yields += 1
+            self.obs.yields.inc()
             return self.cost.yield_cost
         return self.cost.flag_poll_interval
 
@@ -154,9 +175,11 @@ class FlagArray:
         other processes" step (§2.2): the master pays one store per flag.
         """
         indices = [i for i in range(len(self.flags)) if i != skip]
-        yield task.engine.timeout(self.cost.flag_set_cost * len(indices))
+        with task.phase(FLAG_SET):
+            yield task.engine.timeout(self.cost.flag_set_cost * len(indices))
+        self.node.machine.obs.flag_sets.inc(len(indices))
         for index in indices:
-            self.flags[index].store(value)
+            self.flags[index].store(value, writer_rank=task.rank)
 
     def wait_all(self, task: "Task", predicate: Predicate, skip: int | None = None) -> ProcessGenerator:
         """Spin until ``predicate`` holds on every flag (optionally skip one).
@@ -165,14 +188,16 @@ class FlagArray:
         delay total once the last flag satisfies the predicate.
         """
         start = self.engine.now
-        pending = [
-            event
-            for index, flag in enumerate(self.flags)
-            if index != skip
-            for event in [flag._event_when(predicate)]
-            if event is not None
-        ]
-        if pending:
-            yield self.engine.all_of(pending)
-        # Reuse the single-flag detection model for the final observation.
-        yield self.engine.timeout(self.flags[0]._detection_delay(task, start))
+        with task.phase(FLAG_WAIT):
+            pending = [
+                event
+                for index, flag in enumerate(self.flags)
+                if index != skip
+                for event in [flag._event_when(predicate, waiter_rank=task.rank)]
+                if event is not None
+            ]
+            if pending:
+                yield self.engine.all_of(pending)
+            # Reuse the single-flag detection model for the final observation.
+            yield self.engine.timeout(self.flags[0]._detection_delay(task, start))
+        self.node.machine.obs.flag_wait_seconds.observe(self.engine.now - start)

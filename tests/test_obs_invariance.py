@@ -1,0 +1,96 @@
+"""Observation must never perturb the simulation.
+
+A machine built with ``observe=False`` swaps the metrics registry and phase
+recorder for no-ops; everything the simulation computes — output buffers,
+makespans, even the number of engine events processed — must be bit-identical
+to an instrumented run.
+"""
+
+import numpy as np
+
+from repro.core.srm import SRM
+from repro.machine import ClusterSpec
+from repro.machine.cluster import Machine
+from repro.mpi.ops import SUM
+
+
+def run_op(observe, op, nbytes, nodes=2, tasks=4):
+    machine = Machine(ClusterSpec(nodes=nodes, tasks_per_node=tasks), observe=observe)
+    srm = SRM(machine)
+    total = machine.spec.total_tasks
+    count = max(1, nbytes // 8)
+    buffers = {r: np.zeros(max(1, nbytes), np.uint8) for r in range(total)}
+    if total:
+        buffers[0][:] = np.arange(max(1, nbytes), dtype=np.uint8) % 251
+    sources = {r: np.full(count, float(r + 1)) for r in range(total)}
+    outs = {r: np.zeros(count) for r in range(total)}
+    destination = np.zeros(count)
+
+    def program(task):
+        if op == "broadcast":
+            yield from srm.broadcast(task, buffers[task.rank], root=0)
+        elif op == "reduce":
+            dst = destination if task.rank == 0 else None
+            yield from srm.reduce(task, sources[task.rank], dst, SUM, root=0)
+        elif op == "allreduce":
+            yield from srm.allreduce(task, sources[task.rank], outs[task.rank], SUM)
+        else:
+            yield from srm.barrier(task)
+
+    result = machine.launch(program)
+    data = {
+        "broadcast": buffers,
+        "reduce": {0: destination},
+        "allreduce": outs,
+        "barrier": {},
+    }[op]
+    return machine, result, data
+
+
+def assert_invariant(op, nbytes):
+    machine_on, result_on, data_on = run_op(True, op, nbytes)
+    machine_off, result_off, data_off = run_op(False, op, nbytes)
+    # Identical timing, to the last event...
+    assert result_on.elapsed == result_off.elapsed
+    assert result_on.finish_times == result_off.finish_times
+    assert machine_on.engine.now == machine_off.engine.now
+    assert machine_on.engine.events_processed == machine_off.engine.events_processed
+    # ...and bit-identical data.
+    assert set(data_on) == set(data_off)
+    for rank in data_on:
+        assert np.array_equal(data_on[rank], data_off[rank])
+    # The off switch really is off; the on switch really recorded.
+    assert not machine_off.obs.recorder.spans
+    assert not machine_off.obs.recorder.flows
+    assert machine_off.obs.metrics.to_dict() == {}
+    assert machine_on.obs.recorder.spans
+
+
+def test_broadcast_small_invariant():
+    assert_invariant("broadcast", 8192)
+
+
+def test_broadcast_large_invariant():
+    assert_invariant("broadcast", 262144)
+
+
+def test_reduce_invariant():
+    assert_invariant("reduce", 16384)
+
+
+def test_allreduce_exchange_invariant():
+    assert_invariant("allreduce", 8192)
+
+
+def test_allreduce_pipelined_invariant():
+    assert_invariant("allreduce", 262144)
+
+
+def test_barrier_invariant():
+    assert_invariant("barrier", 0)
+
+
+def test_observe_flag_defaults_on():
+    machine = Machine(ClusterSpec(nodes=1, tasks_per_node=2))
+    assert machine.obs.enabled
+    assert machine.obs.metrics.enabled

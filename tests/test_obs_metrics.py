@@ -1,0 +1,121 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TimeWeightedHistogram,
+)
+
+
+def test_counter_accumulates():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+    assert counter.to_dict() == {"value": 42}
+
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge("g")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(2)
+    assert gauge.value == 13
+
+
+def test_histogram_statistics():
+    hist = Histogram("h")
+    for value in (1, 2, 3, 1024):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == 1030
+    assert hist.mean == pytest.approx(257.5)
+    assert hist.min == 1
+    assert hist.max == 1024
+    data = hist.to_dict()
+    assert data["count"] == 4
+    assert sum(data["buckets"].values()) == 4
+
+
+def test_histogram_power_of_two_buckets():
+    hist = Histogram("h")
+    hist.observe(0)  # <=0 bucket
+    hist.observe(1)  # <=2^0
+    hist.observe(2)  # <=2^1
+    hist.observe(3)  # <=2^2
+    buckets = hist.to_dict()["buckets"]
+    assert buckets["<=0"] == 1
+    assert buckets["<=2^0"] == 1
+    assert buckets["<=2^1"] == 1
+    assert buckets["<=2^2"] == 1
+
+
+def test_empty_histogram_serializes():
+    data = Histogram("h").to_dict()
+    assert data["count"] == 0
+    assert data["min"] is None and data["max"] is None
+
+
+def test_time_weighted_histogram_exact_average():
+    clock = {"now": 0.0}
+    hist = TimeWeightedHistogram("t", clock=lambda: clock["now"])
+    hist.observe(2)  # value 2 held over [0, 10)
+    clock["now"] = 10.0
+    hist.observe(4)  # value 4 held over [10, 20)
+    clock["now"] = 20.0
+    # (2*10 + 4*10) / 20 — the open interval counts without being settled.
+    assert hist.time_average == pytest.approx(3.0)
+    assert hist.current == 4
+    assert hist.min == 2 and hist.max == 4
+    data = hist.to_dict()
+    assert data["observations"] == 2
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    first = registry.counter("x")
+    second = registry.counter("x")
+    assert first is second
+    assert len(registry) == 1
+    assert registry.names() == ["x"]
+    assert registry.get("x") is first
+    assert registry.get("missing") is None
+
+
+def test_registry_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ConfigurationError):
+        registry.gauge("x")
+
+
+def test_registry_to_dict_carries_kind_and_help():
+    registry = MetricsRegistry()
+    registry.counter("c", "help text").inc(3)
+    registry.histogram("h").observe(7)
+    data = registry.to_dict()
+    assert data["c"] == {"kind": "counter", "help": "help text", "value": 3}
+    assert data["h"]["kind"] == "histogram"
+    assert data["h"]["count"] == 1
+
+
+def test_null_registry_is_inert():
+    registry = NullRegistry()
+    assert not registry.enabled
+    counter = registry.counter("c")
+    counter.inc(100)
+    assert counter.value == 0
+    hist = registry.histogram("h")
+    hist.observe(5)
+    assert hist.count == 0
+    # All kinds share the single no-op instrument; nothing is registered.
+    assert registry.gauge("g") is counter
+    assert registry.time_histogram("t") is counter
+    assert registry.to_dict() == {}
+    assert len(registry) == 0

@@ -1,0 +1,250 @@
+"""Tests for phase spans, flow links, the critical-path walker, and exports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import build
+from repro.bench.trace import Tracer
+from repro.cli import main
+from repro.machine import ClusterSpec
+from repro.mpi.ops import SUM
+from repro.obs.critical import critical_path
+from repro.obs.export import chrome_trace, metrics_dump, write_json
+from repro.obs.taxonomy import FLOW_FLAG_WAKEUP, FLOW_PUT_COUNTER
+
+
+def run_allreduce(nodes=2, tasks=2, nbytes=4096):
+    machine, stack = build("srm", ClusterSpec(nodes=nodes, tasks_per_node=tasks))
+    total = machine.spec.total_tasks
+    count = max(1, nbytes // 8)
+    sources = {r: np.full(count, float(r + 1)) for r in range(total)}
+    outs = {r: np.zeros(count) for r in range(total)}
+
+    def program(task):
+        yield from stack.allreduce(task, sources[task.rank], outs[task.rank], SUM)
+
+    result = machine.launch(program)
+    return machine, result
+
+
+# -- span recording ---------------------------------------------------------
+
+
+def test_spans_recorded_and_closed():
+    machine, result = run_allreduce()
+    spans = machine.obs.recorder.spans
+    assert spans, "protocols should record phase spans"
+    assert all(span.closed for span in spans)
+    assert all(result.start_time <= span.start <= span.end <= result.end_time
+               for span in spans)
+
+
+def test_spans_nest_inside_parents():
+    machine, _ = run_allreduce()
+    spans = machine.obs.recorder.spans
+    nested = [span for span in spans if span.depth > 0]
+    assert nested, "protocol phases should contain substrate phases"
+    for child in nested:
+        parent = spans[child.parent]
+        assert parent.rank == child.rank
+        assert parent.start <= child.start
+        assert parent.end >= child.end
+        assert parent.depth == child.depth - 1
+
+
+def test_spans_cover_every_rank():
+    machine, _ = run_allreduce(nodes=2, tasks=2)
+    assert machine.obs.recorder.ranks() == [0, 1, 2, 3]
+
+
+def test_by_phase_totals_are_positive():
+    machine, _ = run_allreduce()
+    totals = machine.obs.recorder.by_phase()
+    assert totals
+    assert all(seconds >= 0 for seconds in totals.values())
+
+
+# -- flow links -------------------------------------------------------------
+
+
+def test_put_counter_flow_recorded():
+    machine, _ = run_allreduce()
+    flows = [f for f in machine.obs.recorder.flows if f.kind == FLOW_PUT_COUNTER]
+    assert flows, "inter-node puts should link to their counter increments"
+    cross = [f for f in flows if f.src_rank != f.dst_rank]
+    assert cross, "at least one put crosses ranks"
+    assert all(f.dst_ts >= f.src_ts for f in flows)
+
+
+def test_flag_wakeup_flow_recorded():
+    machine, _ = run_allreduce()
+    flows = [f for f in machine.obs.recorder.flows if f.kind == FLOW_FLAG_WAKEUP]
+    assert flows, "flag stores should link to the waiters they release"
+    assert all(f.src_ts == f.dst_ts for f in flows)
+
+
+# -- critical path ----------------------------------------------------------
+
+
+def test_critical_path_partitions_makespan():
+    machine, result = run_allreduce()
+    path = critical_path(
+        machine.obs.recorder, start=result.start_time, end=result.end_time
+    )
+    assert path.total == pytest.approx(result.elapsed)
+    # The walk is a partition: attributed time equals the window exactly.
+    assert path.attributed == pytest.approx(path.total, rel=1e-9)
+    assert sum(path.by_phase().values()) == pytest.approx(path.total, rel=1e-9)
+    # Acceptance bar: the printed breakdown covers >= 95% of the makespan.
+    assert path.attributed >= 0.95 * result.elapsed
+
+
+def test_critical_path_segments_are_chronological():
+    machine, result = run_allreduce()
+    path = critical_path(
+        machine.obs.recorder, start=result.start_time, end=result.end_time
+    )
+    for earlier, later in zip(path.segments, path.segments[1:]):
+        assert later.start == pytest.approx(earlier.end)
+
+
+def test_critical_path_follows_flows_across_ranks():
+    machine, result = run_allreduce(nodes=4, tasks=2, nbytes=16384)
+    path = critical_path(
+        machine.obs.recorder, start=result.start_time, end=result.end_time
+    )
+    assert len({segment.rank for segment in path.segments}) > 1
+
+
+def test_critical_path_large_pipelined_allreduce():
+    machine, result = run_allreduce(nodes=2, tasks=2, nbytes=262144)
+    path = critical_path(
+        machine.obs.recorder, start=result.start_time, end=result.end_time
+    )
+    assert path.attributed >= 0.95 * result.elapsed
+
+
+def test_critical_path_without_spans_raises():
+    machine, _stack = build("srm", ClusterSpec(nodes=1, tasks_per_node=2))
+    with pytest.raises(ValueError):
+        critical_path(machine.obs.recorder)
+
+
+# -- exports ----------------------------------------------------------------
+
+
+def test_chrome_trace_schema():
+    machine, _ = run_allreduce()
+    events = chrome_trace(machine)
+    assert events
+    json.dumps(events)  # must be serializable
+    for event in events:
+        assert event["ph"] in {"X", "s", "f", "M"}
+        assert "pid" in event and "tid" in event
+        if event["ph"] == "X":
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "args" in event
+
+
+def test_chrome_trace_has_nested_phase_slices():
+    machine, _ = run_allreduce()
+    phases = [e for e in chrome_trace(machine) if e.get("cat") == "phase"]
+    assert phases
+    assert max(e["args"]["depth"] for e in phases) > 0
+
+
+def test_chrome_trace_flow_event_pairs():
+    machine, _ = run_allreduce()
+    events = chrome_trace(machine)
+    starts = {e["id"]: e for e in events if e["ph"] == "s"}
+    finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+    assert starts and set(starts) == set(finishes)
+    # Acceptance bar: a LAPI put is linked to its remote counter increment.
+    put_flows = [e for e in starts.values() if e["name"] == FLOW_PUT_COUNTER]
+    assert put_flows
+    assert all(e["ph"] == "f" and e["bp"] == "e" for e in finishes.values())
+
+
+def test_chrome_trace_with_tracer_call_slices():
+    machine, stack = build("srm", ClusterSpec(nodes=2, tasks_per_node=2))
+    tracer = Tracer(machine)
+    traced = tracer.wrap(stack)
+    buffers = {r: np.zeros(1024, np.uint8) for r in range(4)}
+    buffers[0][:] = 1
+
+    def program(task):
+        yield from traced.broadcast(task, buffers[task.rank], root=0)
+
+    machine.launch(program)
+    events = chrome_trace(machine, tracer)
+    calls = [e for e in events if e.get("cat") == "call"]
+    assert len(calls) == 4
+    assert all(e["name"].startswith("broadcast[") for e in calls)
+
+
+def test_metrics_dump_structure():
+    machine, _ = run_allreduce()
+    dump = metrics_dump(machine)
+    json.dumps(dump)
+    assert dump["simulated_time"] > 0
+    assert dump["events_processed"] > 0
+    assert dump["metrics"]["task.copies"]["value"] > 0
+    assert dump["phase_totals"]
+    assert dump["flow_counts"][FLOW_PUT_COUNTER] > 0
+    assert set(dump["tasks"]) == {0, 1, 2, 3}
+    assert dump["tasks"][0]["lapi"]["puts"] >= 0
+
+
+def test_write_json_roundtrip(tmp_path):
+    target = tmp_path / "out.json"
+    write_json(str(target), {"a": [1, 2]})
+    assert json.loads(target.read_text()) == {"a": [1, 2]}
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_profile_cli_breakdown(capsys):
+    code = main(
+        ["profile", "--op", "allreduce", "--bytes", "4096", "--nodes", "2", "--tasks", "2"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "critical path" in out
+    assert "% of makespan" in out
+    attributed = float(out.split("attributed: ")[1].split("%")[0])
+    assert attributed >= 95.0
+
+
+def test_profile_cli_writes_exports(tmp_path, capsys):
+    chrome = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    code = main(
+        [
+            "profile", "--op", "barrier", "--nodes", "2", "--tasks", "2",
+            "--chrome-out", str(chrome), "--json-out", str(metrics),
+        ]
+    )
+    assert code == 0
+    events = json.loads(chrome.read_text())
+    assert any(e.get("cat") == "phase" for e in events)
+    dump = json.loads(metrics.read_text())
+    assert "phase_totals" in dump and "calls" in dump
+
+
+def test_trace_cli_chrome_out(tmp_path, capsys):
+    target = tmp_path / "trace.json"
+    code = main(
+        [
+            "trace", "--op", "broadcast", "--bytes", "2048",
+            "--nodes", "2", "--tasks", "2", "--chrome-out", str(target),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"wrote Perfetto trace to {target}" in out
+    events = json.loads(target.read_text())
+    assert any(e.get("cat") == "call" for e in events)
+    assert any(e.get("ph") == "s" for e in events)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bench import build
-from repro.bench.trace import Tracer
+from repro.bench.trace import Tracer, assign_glyphs
 from repro.machine import ClusterSpec
 from repro.mpi.ops import SUM
 
@@ -107,6 +107,39 @@ def test_timeline_renders_lanes():
     assert lines[0].startswith("t = ")
     assert sum(1 for line in lines if line.startswith("rank")) == 4
     assert "B" in art  # broadcast glyph
+
+
+def test_glyphs_are_unique_per_operation():
+    # The naive first-letter scheme collides on broadcast/barrier.
+    glyphs = assign_glyphs(["broadcast", "barrier", "reduce", "allreduce"])
+    assert len(set(glyphs.values())) == 4
+    assert glyphs["barrier"] != glyphs["broadcast"]
+
+
+def test_glyphs_fall_back_to_digits():
+    # Operations sharing every letter exhaust the name-based candidates.
+    glyphs = assign_glyphs(["ab", "ba", "aab", "abb"])
+    assert len(set(glyphs.values())) == 4
+
+
+def test_timeline_distinguishes_broadcast_and_barrier():
+    machine, tracer, traced = traced_machine()
+    buffers = {r: np.zeros(512, np.uint8) for r in range(4)}
+
+    def program(task):
+        yield from traced.barrier(task)
+        yield from traced.broadcast(task, buffers[task.rank], root=0)
+
+    machine.launch(program)
+    art = tracer.timeline()
+    legend = art.splitlines()[-1]
+    assert legend.startswith("legend:")
+    assert "=barrier" in legend and "=broadcast" in legend
+    barrier_glyph = legend.split("=barrier")[0].split()[-1]
+    broadcast_glyph = legend.split("=broadcast")[0].split()[-1]
+    assert barrier_glyph != broadcast_glyph
+    lanes = [line for line in art.splitlines() if line.startswith("rank")]
+    assert any(barrier_glyph in lane and broadcast_glyph in lane for lane in lanes)
 
 
 def test_timeline_empty():
