@@ -1,7 +1,9 @@
-"""Benchmark harness: stack builders, timed runs, sweep grids, reporting."""
+"""Benchmark harness: stack builders, timed runs, sweep grids, reporting,
+telemetry snapshots (``repro.bench.snapshot``), the perf regression gate
+(``repro.bench.regress``), and figure-shape assertions (``repro.bench.shapes``)."""
 
 from repro.bench.report import format_bytes, format_us, print_table, table
-from repro.bench.runner import STACKS, Measurement, build, time_operation
+from repro.bench.runner import OPERATIONS, STACKS, Measurement, build, time_operation
 from repro.bench.sweeps import (
     clear_cache,
     full_grid,
@@ -15,6 +17,7 @@ from repro.bench.sweeps import (
 
 __all__ = [
     "STACKS",
+    "OPERATIONS",
     "Measurement",
     "build",
     "time_operation",

@@ -20,10 +20,21 @@ from repro.machine import ClusterSpec, CostModel, Machine
 from repro.mpi.collectives import IbmMpi, Mpich
 from repro.mpi.ops import SUM, ReduceOp
 
-__all__ = ["STACKS", "build", "time_operation", "Measurement"]
+__all__ = [
+    "STACKS",
+    "OPERATIONS",
+    "build",
+    "operation_body",
+    "looped_program",
+    "time_operation",
+    "Measurement",
+]
 
 #: Stack registry: name -> builder.
 STACKS = ("srm", "ibm", "mpich")
+
+#: The paper's common set, i.e. every operation the harness can time.
+OPERATIONS = ("broadcast", "reduce", "allreduce", "barrier")
 
 
 def build(
@@ -54,15 +65,26 @@ def build(
 class Measurement:
     """One timed data point."""
 
-    __slots__ = ("stack", "operation", "nbytes", "total_tasks", "seconds", "repeats")
+    __slots__ = ("stack", "operation", "nbytes", "total_tasks", "seconds", "repeats", "nodes")
 
-    def __init__(self, stack: str, operation: str, nbytes: int, total_tasks: int, seconds: float, repeats: int) -> None:
+    def __init__(
+        self,
+        stack: str,
+        operation: str,
+        nbytes: int,
+        total_tasks: int,
+        seconds: float,
+        repeats: int,
+        nodes: int = 0,
+    ) -> None:
         self.stack = stack
         self.operation = operation
         self.nbytes = nbytes
         self.total_tasks = total_tasks
         self.seconds = seconds
         self.repeats = repeats
+        #: Node count of the cluster shape (0 when built by hand without one).
+        self.nodes = nodes
 
     @property
     def microseconds(self) -> float:
@@ -80,26 +102,22 @@ def _element_count(nbytes: int) -> int:
     return max(1, nbytes // 8)
 
 
-def time_operation(
+def operation_body(
     machine: Machine,
     stack: typing.Any,
     operation: str,
     nbytes: int = 0,
     root: int = 0,
     op: ReduceOp = SUM,
-    repeats: int = 3,
-    warmup: int = 1,
-) -> Measurement:
-    """Average simulated seconds per call of ``operation`` on ``stack``.
+) -> typing.Callable:
+    """The per-task generator body for one call of ``operation``.
 
-    ``warmup`` unmeasured calls first populate buffers/plans (and leave the
-    double-buffer cursors mid-stream, like the paper's 1000-call loops),
-    then ``repeats`` back-to-back calls are timed as one launch.
+    Shared by :func:`time_operation` and the snapshot capture in
+    :mod:`repro.bench.snapshot`, so both time exactly the same workload
+    (buffers allocated once and reused call-to-call, sum over doubles).
     """
-    if operation not in ("broadcast", "reduce", "allreduce", "barrier"):
+    if operation not in OPERATIONS:
         raise ConfigurationError(f"unknown operation {operation!r}")
-    if repeats < 1 or warmup < 0:
-        raise ConfigurationError("repeats must be >= 1 and warmup >= 0")
     total = machine.spec.total_tasks
 
     if operation == "broadcast":
@@ -131,21 +149,47 @@ def time_operation(
         def body(task, _iteration):
             yield from stack.barrier(task)
 
-    def looped(iterations):
-        def program(task):
-            for iteration in range(iterations):
-                yield from body(task, iteration)
+    return body
 
-        return program
 
+def looped_program(body: typing.Callable, iterations: int) -> typing.Callable:
+    """A per-task program running ``body`` ``iterations`` times back-to-back."""
+
+    def program(task):
+        for iteration in range(iterations):
+            yield from body(task, iteration)
+
+    return program
+
+
+def time_operation(
+    machine: Machine,
+    stack: typing.Any,
+    operation: str,
+    nbytes: int = 0,
+    root: int = 0,
+    op: ReduceOp = SUM,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Measurement:
+    """Average simulated seconds per call of ``operation`` on ``stack``.
+
+    ``warmup`` unmeasured calls first populate buffers/plans (and leave the
+    double-buffer cursors mid-stream, like the paper's 1000-call loops),
+    then ``repeats`` back-to-back calls are timed as one launch.
+    """
+    if repeats < 1 or warmup < 0:
+        raise ConfigurationError("repeats must be >= 1 and warmup >= 0")
+    body = operation_body(machine, stack, operation, nbytes, root, op)
     if warmup:
-        machine.launch(looped(warmup))
-    result = machine.launch(looped(repeats))
+        machine.launch(looped_program(body, warmup))
+    result = machine.launch(looped_program(body, repeats))
     return Measurement(
         stack=getattr(stack, "name", type(stack).__name__),
         operation=operation,
         nbytes=nbytes,
-        total_tasks=total,
+        total_tasks=machine.spec.total_tasks,
         seconds=result.elapsed / repeats,
         repeats=repeats,
+        nodes=machine.spec.nodes,
     )

@@ -1,0 +1,187 @@
+"""Schema-versioned benchmark telemetry snapshots (``BENCH_<label>.json``).
+
+One snapshot captures one run of the benchmark grid as a machine-readable
+artifact: for every (operation, stack, size, nodes) cell it records
+
+* the simulated latency (the number the paper's figures plot),
+* the obs metrics summary — copy counts, puts issued, flag spins, counter
+  waits — from the cell's own fresh machine, and
+* the critical-path per-phase breakdown of the timed window, so a later
+  regression can be *attributed* ("+38% on internode reduce 64 KB,
+  localized to counter-wait") instead of merely detected.
+
+Cells are emitted sorted by ``(operation, stack, nbytes, nodes)`` and every
+map inside a cell is key-sorted, so two runs of an identical tree serialize
+byte-identically: a snapshot diff is a measurement diff.
+
+The default grid is the *quick bench grid* — the figure quick grid capped at
+1 MB, because an 8 MB cell costs ~1 wall-minute each and a perf gate that
+takes half an hour never gets run.  ``REPRO_BENCH_FULL=1`` widens to the
+full paper grid, 8 MB included.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.bench.export import bench_identity, identity_fingerprint
+from repro.bench.runner import OPERATIONS, build, looped_program, operation_body
+from repro.bench.sweeps import MB, full_grid, message_sizes, processor_configs
+from repro.errors import ConfigurationError
+from repro.machine import ClusterSpec
+from repro.obs.critical import critical_path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SNAPSHOT_KIND",
+    "bench_sizes",
+    "bench_nodes",
+    "cell_key",
+    "capture_cell",
+    "collect_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+#: Bump on any incompatible change to the snapshot document layout.
+SCHEMA_VERSION = 1
+
+#: Document marker, so a stray JSON file is rejected with a clear error.
+SNAPSHOT_KIND = "repro-bench-snapshot"
+
+#: Cap for the quick gate grid: 8 MB cells cost ~1 wall-minute each.
+_QUICK_SIZE_CAP = MB
+
+
+def bench_sizes() -> list[int]:
+    """Message sizes of the snapshot grid (quick: figure grid capped at 1 MB)."""
+    sizes = message_sizes()
+    if full_grid():
+        return sizes
+    return [size for size in sizes if size <= _QUICK_SIZE_CAP]
+
+
+def bench_nodes() -> list[int]:
+    """Node counts of the snapshot grid (same axis as the figures)."""
+    return processor_configs()
+
+
+def cell_key(cell: dict) -> tuple:
+    """The identity of one cell: (operation, stack, nbytes, nodes)."""
+    return (cell["operation"], cell["stack"], cell["nbytes"], cell["nodes"])
+
+
+def capture_cell(
+    stack: str,
+    operation: str,
+    nbytes: int = 0,
+    nodes: int = 16,
+    tasks_per_node: int = 16,
+    repeats: int | None = None,
+    warmup: int = 1,
+) -> dict:
+    """Measure one grid cell on a fresh machine, with full telemetry.
+
+    Mirrors :func:`~repro.bench.runner.time_operation` (same bodies, same
+    warmup-then-timed launches) but keeps the machine's observability: the
+    recorder is cleared after warmup so the critical path partitions exactly
+    the timed window, while the metrics registry keeps machine-lifetime
+    totals (deterministic either way — the simulator has no noise).
+    """
+    if repeats is None:
+        repeats = 2 if nbytes >= MB else 3
+    spec = ClusterSpec(nodes=nodes, tasks_per_node=tasks_per_node)
+    machine, collectives = build(stack, spec)
+    body = operation_body(machine, collectives, operation, nbytes)
+    if warmup:
+        machine.launch(looped_program(body, warmup))
+        machine.obs.recorder.clear()
+    result = machine.launch(looped_program(body, repeats))
+
+    cell: dict[str, typing.Any] = {
+        "operation": operation,
+        "stack": stack,
+        "nbytes": nbytes,
+        "nodes": nodes,
+        "total_tasks": spec.total_tasks,
+        "repeats": repeats,
+        "microseconds": result.elapsed / repeats * 1e6,
+        "metrics": machine.obs.metrics.summary(),
+    }
+    if machine.obs.recorder.spans:
+        path = critical_path(
+            machine.obs.recorder, start=result.start_time, end=result.end_time
+        )
+        cell["critical_path"] = path.to_dict()
+    else:
+        # A machine that recorded no spans at all still gates on latency.
+        cell["critical_path"] = None
+    return cell
+
+
+def collect_snapshot(
+    label: str = "head",
+    operations: typing.Sequence[str] = OPERATIONS,
+    stacks: typing.Sequence[str] = ("srm", "ibm", "mpich"),
+    tasks_per_node: int = 16,
+    progress: typing.Callable[[str], None] | None = None,
+) -> dict:
+    """Run the snapshot grid and assemble one snapshot document."""
+    for operation in operations:
+        if operation not in OPERATIONS:
+            raise ConfigurationError(f"unknown operation {operation!r}")
+    sizes = bench_sizes()
+    nodes_axis = bench_nodes()
+    cells: list[dict] = []
+    for operation in sorted(operations):
+        cell_sizes = [0] if operation == "barrier" else sizes
+        for stack in sorted(stacks):
+            for nbytes in cell_sizes:
+                for nodes in nodes_axis:
+                    if progress is not None:
+                        progress(f"{operation} {stack} {nbytes}B x{nodes} nodes")
+                    cells.append(
+                        capture_cell(
+                            stack, operation, nbytes, nodes, tasks_per_node
+                        )
+                    )
+    cells.sort(key=cell_key)
+    identity = bench_identity(tasks_per_node=tasks_per_node)
+    return {
+        "kind": SNAPSHOT_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "identity": identity,
+        "fingerprint": identity_fingerprint(identity),
+        "grid": {
+            "sizes": sizes,
+            "nodes": nodes_axis,
+            "operations": sorted(operations),
+            "stacks": sorted(stacks),
+            "full": full_grid(),
+        },
+        "cells": cells,
+    }
+
+
+def write_snapshot(path: str, snapshot: dict) -> None:
+    """Serialize a snapshot ('-' writes to stdout)."""
+    text = json.dumps(snapshot, indent=1, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def load_snapshot(path: str) -> dict:
+    """Load and structurally validate a snapshot document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict) or snapshot.get("kind") != SNAPSHOT_KIND:
+        raise ConfigurationError(f"{path} is not a {SNAPSHOT_KIND} document")
+    for field in ("schema_version", "label", "identity", "cells"):
+        if field not in snapshot:
+            raise ConfigurationError(f"{path} is missing snapshot field {field!r}")
+    return snapshot

@@ -12,6 +12,13 @@ Commands
     (``--chrome-out FILE`` additionally writes a Perfetto-loadable trace).
 ``profile --op allreduce --bytes 16384 --nodes 8 --tasks 16``
     Run one collective and print the critical-path phase breakdown.
+``bench --json-out BENCH_head.json [--label head] [--full]``
+    Run the snapshot grid and write one schema-versioned telemetry snapshot
+    (latencies + metrics + critical-path breakdown per cell).
+``regress --baseline BENCH_seed.json [--candidate BENCH_head.json]
+[--tolerance 0.05] [--update]``
+    Diff a candidate snapshot (or a fresh run) against the committed
+    baseline; fail on unexplained regressions or figure-shape violations.
 ``info``
     Dump the calibrated cost model and the default SRM configuration.
 """
@@ -170,6 +177,57 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         write_json(args.json_out, metrics_dump(machine, tracer))
         print(f"wrote metrics dump to {args.json_out}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.snapshot import collect_snapshot, write_snapshot
+
+    if args.full:
+        os.environ["REPRO_BENCH_FULL"] = "1"
+    operations = tuple(op.strip() for op in args.ops.split(",") if op.strip())
+    progress = None
+    if not args.quiet and args.json_out != "-":
+        progress = lambda text: print(f"  bench {text}", flush=True)  # noqa: E731
+    snapshot = collect_snapshot(
+        label=args.label, operations=operations, progress=progress
+    )
+    write_snapshot(args.json_out, snapshot)
+    if args.json_out != "-":
+        print(
+            f"wrote {len(snapshot['cells'])} cells to {args.json_out} "
+            f"(schema v{snapshot['schema_version']}, identity {snapshot['fingerprint']})"
+        )
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.bench.regress import compare_snapshots, format_report
+    from repro.bench.shapes import check_shapes, format_shape_results
+    from repro.bench.snapshot import collect_snapshot, load_snapshot, write_snapshot
+
+    baseline = load_snapshot(args.baseline)
+    if args.candidate is not None:
+        candidate = load_snapshot(args.candidate)
+    else:
+        print("no --candidate given; running the snapshot grid now", flush=True)
+        candidate = collect_snapshot(label="head")
+        if args.json_out:
+            write_snapshot(args.json_out, candidate)
+            print(f"wrote fresh candidate snapshot to {args.json_out}")
+
+    report = compare_snapshots(baseline, candidate, tolerance=args.tolerance)
+    print(format_report(report, verbose=args.verbose))
+    shapes = check_shapes(candidate)
+    print(format_shape_results(shapes))
+    shapes_ok = all(result.ok for result in shapes)
+
+    if args.update:
+        write_snapshot(args.baseline, candidate)
+        print(f"updated baseline {args.baseline} from the candidate snapshot")
+        return 0
+    return 0 if report.ok and shapes_ok else 1
 
 
 _FIGURES: dict[int, str] = {
@@ -335,6 +393,41 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         "--json-out", default=None, help="write the JSON metrics dump here ('-' = stdout)"
     )
     profile.set_defaults(handler=_cmd_profile)
+
+    bench = commands.add_parser(
+        "bench", help="run the snapshot grid and write a telemetry snapshot"
+    )
+    bench.add_argument(
+        "--json-out", default="BENCH_head.json", help="snapshot path ('-' = stdout)"
+    )
+    bench.add_argument("--label", default="head", help="label stored in the snapshot")
+    bench.add_argument("--ops", default="broadcast,reduce,allreduce,barrier")
+    bench.add_argument("--full", action="store_true", help="use the full paper grid")
+    bench.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    bench.set_defaults(handler=_cmd_bench)
+
+    regress = commands.add_parser(
+        "regress", help="gate a snapshot against a committed baseline"
+    )
+    regress.add_argument("--baseline", required=True, help="baseline snapshot path")
+    regress.add_argument(
+        "--candidate", default=None,
+        help="candidate snapshot path (omit to run the grid now)",
+    )
+    regress.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative slowdown tolerated per cell (default 0.05 = 5%%)",
+    )
+    regress.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the candidate and exit 0",
+    )
+    regress.add_argument(
+        "--json-out", default=None,
+        help="also write a freshly-run candidate snapshot here",
+    )
+    regress.add_argument("--verbose", action="store_true", help="list every cell")
+    regress.set_defaults(handler=_cmd_regress)
 
     info = commands.add_parser("info", help="dump cost model + SRM configuration")
     info.set_defaults(handler=_cmd_info)

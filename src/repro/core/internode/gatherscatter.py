@@ -41,6 +41,7 @@ from repro.core.internode.broadcast import srm_broadcast
 from repro.core.smp.broadcast import smp_broadcast_chunk
 from repro.errors import ConfigurationError
 from repro.lapi.counters import LapiCounter
+from repro.obs.taxonomy import BLOCK_REGISTER, BLOCK_TRANSFER, PIPELINE_CHUNK, RING_STEP, STREAM_JOIN
 from repro.shmem.flags import SharedFlag
 from repro.sim.process import ProcessGenerator
 
@@ -116,8 +117,10 @@ def srm_scatter(
     if task.rank != root:
         # Register my buffer, then wait for the root's put to land.
         plan.member_buffers[task.rank] = recvbuf
-        yield from task.lapi.put(root, _SIGNAL, _SIGNAL, target_counter=plan.address_arrival)
-        yield from task.lapi.waitcntr(plan.scatter_arrival[task.rank], 1)
+        with task.phase(BLOCK_REGISTER):
+            yield from task.lapi.put(root, _SIGNAL, _SIGNAL, target_counter=plan.address_arrival)
+        with task.phase(BLOCK_TRANSFER):
+            yield from task.lapi.waitcntr(plan.scatter_arrival[task.rank], 1)
         return
 
     if sendbuf is None:
@@ -131,22 +134,24 @@ def srm_scatter(
     positions = _positions(ctx)
     # Wait for every member's registration, then stream the blocks.
     if len(members) > 1:
-        yield from task.lapi.waitcntr(plan.address_arrival, len(members) - 1)
-    deliveries = []
-    for rank in members:
-        view = data[positions[rank] * block : (positions[rank] + 1) * block]
-        if rank == root:
-            yield from task.copy(_bytes(recvbuf), view)
-            continue
-        delivery = yield from task.lapi.put(
-            rank,
-            _bytes(plan.member_buffers[rank]),
-            view,
-            target_counter=plan.scatter_arrival[rank],
-        )
-        deliveries.append(delivery)
-    for delivery in deliveries:
-        yield delivery
+        with task.phase(BLOCK_REGISTER):
+            yield from task.lapi.waitcntr(plan.address_arrival, len(members) - 1)
+    with task.phase(BLOCK_TRANSFER):
+        deliveries = []
+        for rank in members:
+            view = data[positions[rank] * block : (positions[rank] + 1) * block]
+            if rank == root:
+                yield from task.copy(_bytes(recvbuf), view)
+                continue
+            delivery = yield from task.lapi.put(
+                rank,
+                _bytes(plan.member_buffers[rank]),
+                view,
+                target_counter=plan.scatter_arrival[rank],
+            )
+            deliveries.append(delivery)
+        for delivery in deliveries:
+            yield delivery
 
 
 def srm_gather(
@@ -172,18 +177,20 @@ def srm_gather(
             )
         plan.root_buffer = recvbuf
     # Window-open epoch rides the SRM broadcast tree (log depth).
-    yield from srm_broadcast(ctx, task, plan.epoch, root)
+    with task.phase(BLOCK_REGISTER):
+        yield from srm_broadcast(ctx, task, plan.epoch, root)
 
     data = _bytes(plan.root_buffer)  # type: ignore[arg-type]
     my_slice = data[positions[task.rank] * block : (positions[task.rank] + 1) * block]
-    if task.rank == root:
-        yield from task.copy(my_slice, _bytes(sendbuf))
-        if len(members) > 1:
-            yield from task.lapi.waitcntr(plan.gather_arrival, len(members) - 1)
-        return
-    yield from task.lapi.put(
-        root, my_slice, _bytes(sendbuf), target_counter=plan.gather_arrival
-    )
+    with task.phase(BLOCK_TRANSFER):
+        if task.rank == root:
+            yield from task.copy(my_slice, _bytes(sendbuf))
+            if len(members) > 1:
+                yield from task.lapi.waitcntr(plan.gather_arrival, len(members) - 1)
+            return
+        yield from task.lapi.put(
+            root, my_slice, _bytes(sendbuf), target_counter=plan.gather_arrival
+        )
 
 
 def srm_allgather(
@@ -253,30 +260,32 @@ def srm_alltoall(
     # Window open: the barrier doubles as the registration epoch — after it,
     # every member's buffer reference is current for this call.
     plan.registry[task.rank] = recvbuf
-    yield from srm_barrier(ctx, task)
+    with task.phase(BLOCK_REGISTER):
+        yield from srm_barrier(ctx, task)
 
-    # My own block moves locally.
-    yield from task.copy(
-        recv_data[my_position * block : (my_position + 1) * block],
-        send_data[my_position * block : (my_position + 1) * block],
-    )
-    deliveries = []
-    for offset in range(1, size):
-        # Rotated order spreads instantaneous load across targets.
-        peer_position = (my_position + offset) % size
-        peer = members[peer_position]
-        peer_buffer = _bytes(plan.registry[peer])
-        delivery = yield from task.lapi.put(
-            peer,
-            peer_buffer[my_position * block : (my_position + 1) * block],
-            send_data[peer_position * block : (peer_position + 1) * block],
-            target_counter=plan.arrival[peer],
+    with task.phase(BLOCK_TRANSFER):
+        # My own block moves locally.
+        yield from task.copy(
+            recv_data[my_position * block : (my_position + 1) * block],
+            send_data[my_position * block : (my_position + 1) * block],
         )
-        deliveries.append(delivery)
-    if size > 1:
-        yield from task.lapi.waitcntr(plan.arrival[task.rank], size - 1)
-    for delivery in deliveries:
-        yield delivery
+        deliveries = []
+        for offset in range(1, size):
+            # Rotated order spreads instantaneous load across targets.
+            peer_position = (my_position + offset) % size
+            peer = members[peer_position]
+            peer_buffer = _bytes(plan.registry[peer])
+            delivery = yield from task.lapi.put(
+                peer,
+                peer_buffer[my_position * block : (my_position + 1) * block],
+                send_data[peer_position * block : (peer_position + 1) * block],
+                target_counter=plan.arrival[peer],
+            )
+            deliveries.append(delivery)
+        if size > 1:
+            yield from task.lapi.waitcntr(plan.arrival[task.rank], size - 1)
+        for delivery in deliveries:
+            yield delivery
 
 
 # ---------------------------------------------------------------------------
@@ -352,13 +361,15 @@ def _allgather_ring(
         # Wait for this call's window, put my block into the master's
         # result buffer (an intra-node put: one bus copy), then join the
         # local fan-out of the completed result.
-        yield from plan.epoch_flag[node].wait_for(task, lambda v: v >= epoch)
-        yield from task.lapi.put(
-            plan.masters[node],
-            _bytes(plan.registry[node])[my_slice],
-            _bytes(sendbuf),
-            target_counter=plan.member_arrival[node],
-        )
+        with task.phase(BLOCK_REGISTER):
+            yield from plan.epoch_flag[node].wait_for(task, lambda v: v >= epoch)
+        with task.phase(BLOCK_TRANSFER):
+            yield from task.lapi.put(
+                plan.masters[node],
+                _bytes(plan.registry[node])[my_slice],
+                _bytes(sendbuf),
+                target_counter=plan.member_arrival[node],
+            )
         yield from _fan_out(ctx, state, task, data)
         return
 
@@ -366,43 +377,48 @@ def _allgather_ring(
     # puts into my buffer), and contribute my own block.
     plan.registry[node] = recvbuf
     left = plan.node_order[(my_position - 1) % ring_size]
-    yield from task.lapi.put(
-        plan.masters[left], _SIGNAL, _SIGNAL, target_counter=plan.addr_arrival[left]
-    )
-    yield from plan.epoch_flag[node].set(task, epoch)
-    yield from task.copy(data[my_slice], _bytes(sendbuf))
-    if state.size > 1:
-        yield from task.lapi.waitcntr(plan.member_arrival[node], state.size - 1)
+    with task.phase(BLOCK_REGISTER):
+        yield from task.lapi.put(
+            plan.masters[left], _SIGNAL, _SIGNAL, target_counter=plan.addr_arrival[left]
+        )
+        yield from plan.epoch_flag[node].set(task, epoch)
+    with task.phase(BLOCK_TRANSFER):
+        yield from task.copy(data[my_slice], _bytes(sendbuf))
+        if state.size > 1:
+            yield from task.lapi.waitcntr(plan.member_arrival[node], state.size - 1)
 
     # Ring: at step s, forward the segment that originated s hops back.
-    yield from task.lapi.waitcntr(plan.addr_arrival[node], 1)
+    with task.phase(BLOCK_REGISTER):
+        yield from task.lapi.waitcntr(plan.addr_arrival[node], 1)
     right = plan.node_order[(my_position + 1) % ring_size]
     right_buffer = _bytes(plan.registry[right])
     right_master = plan.masters[right]
     deliveries = []
     previous_signal = None
     for step in range(ring_size - 1):
-        source_node = plan.node_order[(my_position - step) % ring_size]
-        delivery = yield from task.lapi.put(
-            right_master,
-            segment_view(right_buffer, source_node),
-            segment_view(data, source_node),
-        )
-        deliveries.append(delivery)
-        # Node segments differ in size, so the fluid network model can land
-        # a later (smaller) segment first; bump the right neighbour's
-        # counter strictly in send order, as the FIFO switch route would.
-        signal = task.engine.event(name=f"ag-fifo:{node}:{step}")
-        task.engine.process(
-            _ring_signal(delivery, previous_signal, plan.ring_arrival[right], signal),
-            name=f"ag-signal:{node}->{right}",
-        )
-        previous_signal = signal
-        # My inbound segment for this step must land before I can forward
-        # it next step (and before the result is complete).
-        yield from task.lapi.waitcntr(plan.ring_arrival[node], 1)
-    for delivery in deliveries:
-        yield delivery
+        with task.phase(RING_STEP):
+            source_node = plan.node_order[(my_position - step) % ring_size]
+            delivery = yield from task.lapi.put(
+                right_master,
+                segment_view(right_buffer, source_node),
+                segment_view(data, source_node),
+            )
+            deliveries.append(delivery)
+            # Node segments differ in size, so the fluid network model can land
+            # a later (smaller) segment first; bump the right neighbour's
+            # counter strictly in send order, as the FIFO switch route would.
+            signal = task.engine.event(name=f"ag-fifo:{node}:{step}")
+            task.engine.process(
+                _ring_signal(delivery, previous_signal, plan.ring_arrival[right], signal),
+                name=f"ag-signal:{node}->{right}",
+            )
+            previous_signal = signal
+            # My inbound segment for this step must land before I can forward
+            # it next step (and before the result is complete).
+            yield from task.lapi.waitcntr(plan.ring_arrival[node], 1)
+    with task.phase(STREAM_JOIN):
+        for delivery in deliveries:
+            yield delivery
     yield from _fan_out(ctx, state, task, data)
 
 
@@ -422,10 +438,11 @@ def _fan_out(ctx: SRMContext, state, task: "Task", data: np.ndarray) -> ProcessG
     is_master = state.is_master(task)
     for offset in range(0, data.nbytes, chunk):
         view = data[offset : offset + min(chunk, data.nbytes - offset)]
-        yield from smp_broadcast_chunk(
-            state,
-            task,
-            is_source=is_master,
-            src_chunk=view if is_master else None,
-            dst_chunk=None if is_master else view,
-        )
+        with task.phase(PIPELINE_CHUNK):
+            yield from smp_broadcast_chunk(
+                state,
+                task,
+                is_source=is_master,
+                src_chunk=view if is_master else None,
+                dst_chunk=None if is_master else view,
+            )

@@ -32,6 +32,7 @@ from repro.core.internode.gatherscatter import _fan_out, _ring_signal
 from repro.core.smp.reduce import smp_reduce_chunk
 from repro.errors import ConfigurationError
 from repro.lapi.counters import LapiCounter
+from repro.obs.taxonomy import BLOCK_REGISTER, PIPELINE_CHUNK, RING_STEP, STREAM_JOIN
 from repro.shmem.segment import SharedSegment
 from repro.sim.process import ProcessGenerator
 
@@ -107,9 +108,10 @@ def srm_allreduce_ring(
         for low in range(0, src_data.shape[0], capacity):
             high = min(low + capacity, src_data.shape[0])
             piece_target = target[low:high] if target is not None else None
-            yield from smp_reduce_chunk(
-                state, task, intra_tree, src_data[low:high], op, target=piece_target
-            )
+            with task.phase(PIPELINE_CHUNK):
+                yield from smp_reduce_chunk(
+                    state, task, intra_tree, src_data[low:high], op, target=piece_target
+                )
 
     if not state.is_master(task):
         yield from smp_stage(None)
@@ -150,10 +152,11 @@ def srm_allreduce_ring(
         plan.registry[node] = dst
         left = plan.node_order[(my_position - 1) % ring_size]
         right = plan.node_order[(my_position + 1) % ring_size]
-        yield from task.lapi.put(
-            plan.masters[left], _SIGNAL, _SIGNAL, target_counter=plan.addr_arrival[left]
-        )
-        yield from task.lapi.waitcntr(plan.addr_arrival[node], 1)
+        with task.phase(BLOCK_REGISTER):
+            yield from task.lapi.put(
+                plan.masters[left], _SIGNAL, _SIGNAL, target_counter=plan.addr_arrival[left]
+            )
+            yield from task.lapi.waitcntr(plan.addr_arrival[node], 1)
         right_master = plan.masters[right]
         right_staging = plan.staging[right]
         right_dst = plan.registry[right].reshape(-1)
@@ -168,41 +171,42 @@ def srm_allreduce_ring(
         left_master = plan.masters[left]
         rs_signal_chain = None
         for step in range(ring_size - 1):
-            outgoing = segment(dst_data, my_position - step)
-            incoming = segment(dst_data, my_position - step - 1)
-            pieces_out = sub_chunks(outgoing.shape[0])
-            pieces_in = sub_chunks(incoming.shape[0])
-            for index in range(max(len(pieces_out), len(pieces_in))):
-                if index < len(pieces_out):
-                    low, high = pieces_out[index]
-                    slot = plan.rs_sent[node] % 2
-                    plan.rs_sent[node] += 1
-                    yield from task.lapi.waitcntr(plan.rs_free[node], 1)
-                    piece = outgoing[low:high]
-                    delivery = yield from task.lapi.put(
-                        right_master,
-                        right_staging[slot][: piece.nbytes].view(dtype),
-                        piece,
-                    )
-                    signal = task.engine.event(name=f"ringrs:{node}")
-                    task.engine.process(
-                        _ring_signal(delivery, rs_signal_chain, plan.rs_arrival[right], signal),
-                        name=f"ringrs-signal:{node}",
-                    )
-                    rs_signal_chain = signal
-                if index < len(pieces_in):
-                    low, high = pieces_in[index]
-                    my_slot = plan.rs_combined[node] % 2
-                    plan.rs_combined[node] += 1
-                    yield from task.lapi.waitcntr(plan.rs_arrival[node], 1)
-                    piece = incoming[low:high]
-                    yield from task.reduce_into(
-                        piece, plan.staging[node][my_slot][: piece.nbytes].view(dtype), op
-                    )
-                    # Refill my writer's credit for the drained slot.
-                    yield from task.lapi.put(
-                        left_master, _SIGNAL, _SIGNAL, target_counter=plan.rs_free[left]
-                    )
+            with task.phase(RING_STEP):
+                outgoing = segment(dst_data, my_position - step)
+                incoming = segment(dst_data, my_position - step - 1)
+                pieces_out = sub_chunks(outgoing.shape[0])
+                pieces_in = sub_chunks(incoming.shape[0])
+                for index in range(max(len(pieces_out), len(pieces_in))):
+                    if index < len(pieces_out):
+                        low, high = pieces_out[index]
+                        slot = plan.rs_sent[node] % 2
+                        plan.rs_sent[node] += 1
+                        yield from task.lapi.waitcntr(plan.rs_free[node], 1)
+                        piece = outgoing[low:high]
+                        delivery = yield from task.lapi.put(
+                            right_master,
+                            right_staging[slot][: piece.nbytes].view(dtype),
+                            piece,
+                        )
+                        signal = task.engine.event(name=f"ringrs:{node}")
+                        task.engine.process(
+                            _ring_signal(delivery, rs_signal_chain, plan.rs_arrival[right], signal),
+                            name=f"ringrs-signal:{node}",
+                        )
+                        rs_signal_chain = signal
+                    if index < len(pieces_in):
+                        low, high = pieces_in[index]
+                        my_slot = plan.rs_combined[node] % 2
+                        plan.rs_combined[node] += 1
+                        yield from task.lapi.waitcntr(plan.rs_arrival[node], 1)
+                        piece = incoming[low:high]
+                        yield from task.reduce_into(
+                            piece, plan.staging[node][my_slot][: piece.nbytes].view(dtype), op
+                        )
+                        # Refill my writer's credit for the drained slot.
+                        yield from task.lapi.put(
+                            left_master, _SIGNAL, _SIGNAL, target_counter=plan.rs_free[left]
+                        )
 
         # Stage 3: ring allgather of the reduced segments (direct puts into
         # the right neighbour's destination; FIFO-chained signals because
@@ -210,22 +214,24 @@ def srm_allreduce_ring(
         deliveries = []
         previous_signal = None
         for step in range(ring_size - 1):
-            source_index = my_position + 1 - step
-            delivery = yield from task.lapi.put(
-                right_master,
-                segment(right_dst, source_index),
-                segment(dst_data, source_index),
-            )
-            deliveries.append(delivery)
-            signal = task.engine.event(name=f"ringag:{node}:{step}")
-            task.engine.process(
-                _ring_signal(delivery, previous_signal, plan.ag_arrival[right], signal),
-                name=f"ringag-signal:{node}",
-            )
-            previous_signal = signal
-            yield from task.lapi.waitcntr(plan.ag_arrival[node], 1)
-        for delivery in deliveries:
-            yield delivery
+            with task.phase(RING_STEP):
+                source_index = my_position + 1 - step
+                delivery = yield from task.lapi.put(
+                    right_master,
+                    segment(right_dst, source_index),
+                    segment(dst_data, source_index),
+                )
+                deliveries.append(delivery)
+                signal = task.engine.event(name=f"ringag:{node}:{step}")
+                task.engine.process(
+                    _ring_signal(delivery, previous_signal, plan.ag_arrival[right], signal),
+                    name=f"ringag-signal:{node}",
+                )
+                previous_signal = signal
+                yield from task.lapi.waitcntr(plan.ag_arrival[node], 1)
+        with task.phase(STREAM_JOIN):
+            for delivery in deliveries:
+                yield delivery
 
     # Stage 4: local fan-out of the complete result.
     yield from _fan_out(ctx, state, task, dst_data.view(np.uint8))

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.context import SRMContext
 from repro.errors import ConfigurationError
 from repro.lapi.counters import LapiCounter
+from repro.obs.taxonomy import SCAN_CHUNK
 from repro.shmem.flags import FlagArray, SharedFlag
 from repro.shmem.segment import SharedSegment
 from repro.sim.process import ProcessGenerator
@@ -125,93 +126,94 @@ def srm_scan(
     ready = plan.prefix_ready[node]
 
     for low in range(0, src_data.shape[0], capacity):
-        high = min(low + capacity, src_data.shape[0])
-        count = high - low
-        nbytes = count * dtype.itemsize
-        sequence = plan.chunk_seq[task.rank]
-        plan.chunk_seq[task.rank] = sequence + 1
-        parity = sequence % 2
-        my_slot = plan.prefix_slots[node][me][parity][:nbytes].view(dtype)
-        chunk = src_data[low:high]
+        with task.phase(SCAN_CHUNK):
+            high = min(low + capacity, src_data.shape[0])
+            count = high - low
+            nbytes = count * dtype.itemsize
+            sequence = plan.chunk_seq[task.rank]
+            plan.chunk_seq[task.rank] = sequence + 1
+            parity = sequence % 2
+            my_slot = plan.prefix_slots[node][me][parity][:nbytes].view(dtype)
+            chunk = src_data[low:high]
 
-        # Slot reuse license: my consumers must be done with chunk seq-2.
-        if sequence >= 2:
-            license_at = sequence - 1
-            if me < last_index:
-                yield from plan.consumed_next[node][me].wait_for(
-                    task, lambda v: v >= license_at
-                )
-            if me == last_index and forwards:
-                yield from plan.total_consumed[node].wait_for(
-                    task, lambda v: v >= license_at
-                )
-
-        # Stage 1: the SMP prefix chain, in member order.
-        if me == 0:
-            yield from task.copy(my_slot, chunk)
-        else:
-            needed = sequence + 1
-            yield from ready[me - 1].wait_for(task, lambda v: v >= needed)
-            predecessor = plan.prefix_slots[node][me - 1][parity][:nbytes].view(dtype)
-            yield from task.combine_into(my_slot, predecessor, chunk, op)
-            yield from plan.consumed_next[node][me - 1].set(task, sequence + 1)
-        yield from ready[me].set(task, sequence + 1)
-
-        # Stage 2 (master): receive the exclusive base, forward base+total.
-        if is_master:
-            base_view = plan.base_slots[node][parity][:nbytes].view(dtype)
-            has_base = my_position > 0
+            # Slot reuse license: my consumers must be done with chunk seq-2.
             if sequence >= 2:
                 license_at = sequence - 1
-                yield from plan.base_consumed[node].wait_all(
-                    task, lambda v: v >= license_at, skip=me
-                )
-            if has_base:
-                receive_parity = plan.chain_received[node] % 2
-                plan.chain_received[node] += 1
-                yield from task.lapi.waitcntr(plan.chain_arrival[node], 1)
-                staged = plan.chain_staging[node][receive_parity][:nbytes].view(dtype)
-                yield from task.copy(base_view, staged)
-            if forwards:
-                needed = sequence + 1
-                yield from ready[last_index].wait_for(task, lambda v: v >= needed)
-                total = plan.prefix_slots[node][last_index][parity][:nbytes].view(dtype)
-                next_node = plan.node_order[my_position + 1]
-                send_parity = plan.chain_sent[node] % 2
-                plan.chain_sent[node] += 1
-                outgoing = plan.chain_staging[next_node][send_parity][:nbytes].view(dtype)
-                yield from task.lapi.waitcntr(plan.chain_free[node], 1)
-                if has_base:
-                    scratch = np.empty(count, dtype=dtype)
-                    yield from task.combine_into(scratch, base_view, total, op)
-                    payload = scratch
-                else:
-                    payload = total
-                yield from task.lapi.put(
-                    plan.masters[next_node],
-                    outgoing,
-                    payload,
-                    target_counter=plan.chain_arrival[next_node],
-                )
-                yield from plan.total_consumed[node].set(task, sequence + 1)
-            if has_base:
-                # Credit the upstream master's staging slot.
-                previous_node = plan.node_order[my_position - 1]
-                yield from task.lapi.put(
-                    plan.masters[previous_node],
-                    _SIGNAL,
-                    _SIGNAL,
-                    target_counter=plan.chain_free[previous_node],
-                )
-            yield from plan.base_ready[node].set(task, sequence + 1)
+                if me < last_index:
+                    yield from plan.consumed_next[node][me].wait_for(
+                        task, lambda v: v >= license_at
+                    )
+                if me == last_index and forwards:
+                    yield from plan.total_consumed[node].wait_for(
+                        task, lambda v: v >= license_at
+                    )
 
-        # Stage 3: combine the node base with my local prefix.
-        needed = sequence + 1
-        yield from plan.base_ready[node].wait_for(task, lambda v: v >= needed)
-        out_chunk = dst_data[low:high]
-        if my_position > 0:
-            base_view = plan.base_slots[node][parity][:nbytes].view(dtype)
-            yield from task.combine_into(out_chunk, base_view, my_slot, op)
-        else:
-            yield from task.copy(out_chunk, my_slot)
-        yield from plan.base_consumed[node][me].set(task, sequence + 1)
+            # Stage 1: the SMP prefix chain, in member order.
+            if me == 0:
+                yield from task.copy(my_slot, chunk)
+            else:
+                needed = sequence + 1
+                yield from ready[me - 1].wait_for(task, lambda v: v >= needed)
+                predecessor = plan.prefix_slots[node][me - 1][parity][:nbytes].view(dtype)
+                yield from task.combine_into(my_slot, predecessor, chunk, op)
+                yield from plan.consumed_next[node][me - 1].set(task, sequence + 1)
+            yield from ready[me].set(task, sequence + 1)
+
+            # Stage 2 (master): receive the exclusive base, forward base+total.
+            if is_master:
+                base_view = plan.base_slots[node][parity][:nbytes].view(dtype)
+                has_base = my_position > 0
+                if sequence >= 2:
+                    license_at = sequence - 1
+                    yield from plan.base_consumed[node].wait_all(
+                        task, lambda v: v >= license_at, skip=me
+                    )
+                if has_base:
+                    receive_parity = plan.chain_received[node] % 2
+                    plan.chain_received[node] += 1
+                    yield from task.lapi.waitcntr(plan.chain_arrival[node], 1)
+                    staged = plan.chain_staging[node][receive_parity][:nbytes].view(dtype)
+                    yield from task.copy(base_view, staged)
+                if forwards:
+                    needed = sequence + 1
+                    yield from ready[last_index].wait_for(task, lambda v: v >= needed)
+                    total = plan.prefix_slots[node][last_index][parity][:nbytes].view(dtype)
+                    next_node = plan.node_order[my_position + 1]
+                    send_parity = plan.chain_sent[node] % 2
+                    plan.chain_sent[node] += 1
+                    outgoing = plan.chain_staging[next_node][send_parity][:nbytes].view(dtype)
+                    yield from task.lapi.waitcntr(plan.chain_free[node], 1)
+                    if has_base:
+                        scratch = np.empty(count, dtype=dtype)
+                        yield from task.combine_into(scratch, base_view, total, op)
+                        payload = scratch
+                    else:
+                        payload = total
+                    yield from task.lapi.put(
+                        plan.masters[next_node],
+                        outgoing,
+                        payload,
+                        target_counter=plan.chain_arrival[next_node],
+                    )
+                    yield from plan.total_consumed[node].set(task, sequence + 1)
+                if has_base:
+                    # Credit the upstream master's staging slot.
+                    previous_node = plan.node_order[my_position - 1]
+                    yield from task.lapi.put(
+                        plan.masters[previous_node],
+                        _SIGNAL,
+                        _SIGNAL,
+                        target_counter=plan.chain_free[previous_node],
+                    )
+                yield from plan.base_ready[node].set(task, sequence + 1)
+
+            # Stage 3: combine the node base with my local prefix.
+            needed = sequence + 1
+            yield from plan.base_ready[node].wait_for(task, lambda v: v >= needed)
+            out_chunk = dst_data[low:high]
+            if my_position > 0:
+                base_view = plan.base_slots[node][parity][:nbytes].view(dtype)
+                yield from task.combine_into(out_chunk, base_view, my_slot, op)
+            else:
+                yield from task.copy(out_chunk, my_slot)
+            yield from plan.base_consumed[node][me].set(task, sequence + 1)

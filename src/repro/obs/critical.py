@@ -79,6 +79,22 @@ class CriticalPath:
         """The ``n`` longest individual segments."""
         return sorted(self.segments, key=lambda s: -s.duration)[:n]
 
+    def to_dict(self) -> dict:
+        """A compact JSON-ready summary for benchmark snapshots.
+
+        Phase keys are sorted by name (not by weight) so two runs of the
+        same workload serialize byte-identically and snapshot diffs stay
+        stable; times are microseconds to match the benchmark tables.
+        """
+        by_phase = self.by_phase()
+        return {
+            "total_us": self.total * 1e6,
+            "attributed_us": self.attributed * 1e6,
+            "segments": len(self.segments),
+            "ranks": len({segment.rank for segment in self.segments}),
+            "phases_us": {name: by_phase[name] * 1e6 for name in sorted(by_phase)},
+        }
+
     def __repr__(self) -> str:
         return (
             f"<CriticalPath {len(self.segments)} segments over "

@@ -283,6 +283,29 @@ class MetricsRegistry:
             out[name] = entry
         return out
 
+    def summary(self) -> dict[str, float]:
+        """A flat ``{name: number}`` view for benchmark snapshots.
+
+        Counters and gauges contribute their value under their own name;
+        histograms contribute ``<name>.count`` and ``<name>.sum``;
+        time-weighted histograms contribute ``<name>.observations`` and
+        ``<name>.time_average``.  Keys are emitted in sorted order so the
+        serialization is byte-stable across identical runs, which is what
+        lets snapshot diffs flag real drift instead of dict-order noise.
+        """
+        out: dict[str, float] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.kind in ("counter", "gauge"):
+                out[name] = instrument.value
+            elif instrument.kind == "histogram":
+                out[f"{name}.count"] = instrument.count
+                out[f"{name}.sum"] = instrument.total
+            elif instrument.kind == "time_histogram":
+                out[f"{name}.observations"] = instrument.observations
+                out[f"{name}.time_average"] = instrument.time_average
+        return out
+
     def __len__(self) -> int:
         return len(self._instruments)
 

@@ -22,7 +22,15 @@ exports and the critical-path profiler can aggregate across operations:
 * ``smp-barrier`` — the flat flag barrier (§2.2);
 * ``exchange-round`` — one recursive-doubling round of the small allreduce;
 * ``dissemination-round`` — one round of the inter-node barrier;
-* ``stream-join`` — a master joining its spawned large-message forwarders.
+* ``stream-join`` — a master joining its spawned large-message forwarders;
+* ``block-register`` — a block collective's window-open stage (buffer
+  registration puts / the epoch token that opens a one-sided window);
+* ``block-transfer`` — a block collective moving payload blocks (direct
+  puts into registered buffers, plus the arrival waits that fence them);
+* ``ring-step`` — one master-ring exchange step (allgather ring, ring
+  allreduce reduce-scatter/allgather);
+* ``scan-chunk`` — one chunk's traversal of the hierarchical scan (SMP
+  prefix chain, inter-node base chain, base+local combine).
 
 **Flow kinds** (causal links between ranks):
 
@@ -59,6 +67,10 @@ __all__ = [
     "EXCHANGE_ROUND",
     "DISSEMINATION_ROUND",
     "STREAM_JOIN",
+    "BLOCK_REGISTER",
+    "BLOCK_TRANSFER",
+    "RING_STEP",
+    "SCAN_CHUNK",
     "FLOW_PUT_COUNTER",
     "FLOW_PUT_COMPLETION",
     "FLOW_FLAG_WAKEUP",
@@ -89,6 +101,10 @@ SMP_BARRIER = "smp-barrier"
 EXCHANGE_ROUND = "exchange-round"
 DISSEMINATION_ROUND = "dissemination-round"
 STREAM_JOIN = "stream-join"
+BLOCK_REGISTER = "block-register"
+BLOCK_TRANSFER = "block-transfer"
+RING_STEP = "ring-step"
+SCAN_CHUNK = "scan-chunk"
 
 # -- flow kinds -------------------------------------------------------------
 FLOW_PUT_COUNTER = "put-counter"
@@ -124,5 +140,9 @@ ALL_PHASES = frozenset(
         EXCHANGE_ROUND,
         DISSEMINATION_ROUND,
         STREAM_JOIN,
+        BLOCK_REGISTER,
+        BLOCK_TRANSFER,
+        RING_STEP,
+        SCAN_CHUNK,
     }
 )
