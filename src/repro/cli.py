@@ -19,6 +19,10 @@ Commands
 [--tolerance 0.05] [--update]``
     Diff a candidate snapshot (or a fresh run) against the committed
     baseline; fail on unexplained regressions or figure-shape violations.
+``tune [-o TUNED.json] [--dry-run] [--ops broadcast,allreduce]``
+    Race every registered algorithm variant over the bench grid and write
+    the per-cell winners as a ``TunedPolicy`` decision table
+    (``SRM(machine, policy=TunedPolicy.load("TUNED.json"))``).
 ``info``
     Dump the calibrated cost model and the default SRM configuration.
 """
@@ -230,6 +234,38 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     return 0 if report.ok and shapes_ok else 1
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.bench.tune import TUNABLE_OPERATIONS, run_tune
+
+    operations = tuple(op.strip() for op in args.ops.split(",") if op.strip())
+    progress = None
+    if not args.quiet:
+        progress = lambda text: print(f"  tune {text}", flush=True)  # noqa: E731
+    document = run_tune(
+        out=args.out,
+        dry_run=args.dry_run,
+        operations=operations or TUNABLE_OPERATIONS,
+        label=args.label,
+        progress=progress,
+    )
+    decided = sum(
+        len(rows)
+        for rows_by_nodes in document["table"].values()
+        for rows in rows_by_nodes.values()
+    )
+    if args.dry_run:
+        print(
+            f"dry run ok: {decided} decisions over the micro-grid, "
+            f"document loads as a TunedPolicy (schema v{document['schema_version']})"
+        )
+    else:
+        print(
+            f"wrote {decided} decisions to {args.out} "
+            f"(schema v{document['schema_version']}, identity {document['fingerprint']})"
+        )
+    return 0
+
+
 _FIGURES: dict[int, str] = {
     6: "broadcast",
     7: "reduce",
@@ -428,6 +464,19 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     )
     regress.add_argument("--verbose", action="store_true", help="list every cell")
     regress.set_defaults(handler=_cmd_regress)
+
+    tune = commands.add_parser(
+        "tune", help="measure a TunedPolicy decision table over the bench grid"
+    )
+    tune.add_argument("-o", "--out", default="TUNED.json", help="decision-table path")
+    tune.add_argument("--label", default="tuned", help="label stored in the table")
+    tune.add_argument("--ops", default="broadcast,reduce,allreduce,allgather")
+    tune.add_argument(
+        "--dry-run", action="store_true",
+        help="sweep a micro-grid, validate the document round-trips, write nothing",
+    )
+    tune.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    tune.set_defaults(handler=_cmd_tune)
 
     info = commands.add_parser("info", help="dump cost model + SRM configuration")
     info.set_defaults(handler=_cmd_info)

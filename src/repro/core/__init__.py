@@ -2,6 +2,24 @@
 
 from repro.core.config import SRMConfig
 from repro.core.context import SRMContext
+from repro.core.dispatch import (
+    CostModelPolicy,
+    Dispatcher,
+    FixedPolicy,
+    PaperPolicy,
+    SelectionPolicy,
+    TunedPolicy,
+)
 from repro.core.srm import SRM
 
-__all__ = ["SRM", "SRMConfig", "SRMContext"]
+__all__ = [
+    "SRM",
+    "SRMConfig",
+    "SRMContext",
+    "SelectionPolicy",
+    "PaperPolicy",
+    "CostModelPolicy",
+    "TunedPolicy",
+    "FixedPolicy",
+    "Dispatcher",
+]

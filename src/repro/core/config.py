@@ -71,11 +71,25 @@ class SRMConfig:
             raise ConfigurationError("put_window must be >= 1")
         if self.allreduce_exchange_max < 0:
             raise ConfigurationError("allreduce_exchange_max must be >= 0")
+        if self.allgather_ring_min < 0:
+            raise ConfigurationError("allgather_ring_min must be >= 0")
         if self.allreduce_algorithm not in ("pipeline", "ring"):
             raise ConfigurationError(
                 f"allreduce_algorithm must be 'pipeline' or 'ring', "
                 f"got {self.allreduce_algorithm!r}"
             )
+        # Tree families are consumed by repro.trees at plan-build time;
+        # reject bad names here so misconfiguration fails at construction
+        # with the field name, not deep inside the embedding builder.
+        from repro.trees.embedding import TREE_FAMILIES
+
+        for field_name in ("inter_family", "intra_reduce_family"):
+            family = getattr(self, field_name)
+            if family not in TREE_FAMILIES:
+                raise ConfigurationError(
+                    f"{field_name} must be one of {sorted(TREE_FAMILIES)}, "
+                    f"got {family!r}"
+                )
 
     @property
     def shared_buffer_bytes(self) -> int:
@@ -100,6 +114,16 @@ class SRMConfig:
         * ``<= pipeline_min`` — one chunk (no pipelining, §2.2);
         * ``<= small_protocol_max`` — 4 KB chunks through shared buffers;
         * larger — streaming chunks of ``large_chunk``.
+
+        Both thresholds are **inclusive**: exactly ``pipeline_min`` bytes is
+        still one chunk, and exactly ``small_protocol_max`` bytes still uses
+        ``pipeline_chunk`` tiles; one byte beyond each threshold switches
+        regime.  Offsets always tile ``[0, nbytes)`` exactly — contiguous,
+        non-overlapping, sizes summing to ``nbytes``, with only the final
+        chunk allowed to be short.  Zero bytes yields the single sentinel
+        chunk ``(0, 0)`` so control-flow-only collectives still run their
+        signalling round.  (Boundary behavior is pinned down by the
+        exhaustive tiling tests in ``tests/test_core_config.py``.)
         """
         if nbytes < 0:
             raise ConfigurationError(f"message size must be >= 0, got {nbytes}")

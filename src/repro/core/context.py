@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import SRMConfig
+from repro.core.dispatch import Decision, Dispatcher, SelectionPolicy
 from repro.errors import ConfigurationError
 from repro.lapi.counters import LapiCounter
 from repro.machine.cluster import Machine, Node
@@ -267,6 +268,7 @@ class SRMContext:
         machine: Machine,
         config: SRMConfig | None = None,
         members: typing.Iterable[int] | None = None,
+        policy: "SelectionPolicy | None" = None,
     ) -> None:
         self.machine = machine
         self.config = config if config is not None else SRMConfig()
@@ -292,6 +294,9 @@ class SRMContext:
         self._reduce_plans: dict[int, ReducePlan] = {}
         self._allreduce_plan: AllreducePlan | None = None
         self._barrier_plan: BarrierPlan | None = None
+        #: Protocol-dispatch layer: every algorithm choice routes through
+        #: here (the default policy reproduces the paper's §2.4 thresholds).
+        self.dispatcher = Dispatcher(self, policy)
 
     @property
     def group_root(self) -> int:
@@ -312,6 +317,12 @@ class SRMContext:
                 f"task {task.rank}'s node hosts no members of this group"
             ) from None
 
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, op: str, nbytes: int, task: typing.Any = None) -> Decision:
+        """Resolve the algorithm variant for one collective call."""
+        return self.dispatcher.decide(op, nbytes, task)
+
     # -- plan construction (cached per root) --------------------------------
 
     def bcast_plan(self, root: int) -> BcastPlan:
@@ -319,7 +330,10 @@ class SRMContext:
         if root not in self._bcast_plans:
             spec = self.machine.spec
             trees = group_embedding(
-                spec, self.members, root, inter_family=self.config.inter_family
+                spec,
+                self.members,
+                root,
+                inter_family=self.dispatcher.tree_family("inter-tree"),
             )
             edges: dict[int, _EdgeCounters] = {}
             stream_arrival: dict[int, LapiCounter] = {}
@@ -353,8 +367,8 @@ class SRMContext:
                 spec,
                 self.members,
                 root,
-                inter_family=self.config.inter_family,
-                intra_family=self.config.intra_reduce_family,
+                inter_family=self.dispatcher.tree_family("inter-tree"),
+                intra_family=self.dispatcher.tree_family("intra-reduce-tree"),
             )
             chunk = self.config.shared_buffer_bytes
             staging: dict[int, tuple[np.ndarray, np.ndarray]] = {}

@@ -54,8 +54,9 @@ def srm_allreduce(
     ctx.validate_message(src.nbytes)
     if dst.nbytes != src.nbytes:
         raise ValueError(f"allreduce dst ({dst.nbytes} B) must match src ({src.nbytes} B)")
-    if src.nbytes <= ctx.config.allreduce_exchange_max:
-        manage = ctx.config.manage_interrupts
+    decision = ctx.dispatch("allreduce", src.nbytes, task)
+    if decision.variant == "exchange":
+        manage = decision.manage_interrupts
         if manage:
             task.lapi.set_interrupts(False)
         try:
@@ -63,12 +64,12 @@ def srm_allreduce(
         finally:
             if manage:
                 task.lapi.set_interrupts(True)
-    elif ctx.config.allreduce_algorithm == "ring" and len(ctx.nodes) > 1:
+    elif decision.variant == "ring":
         from repro.core.internode.ring import srm_allreduce_ring
 
         yield from srm_allreduce_ring(ctx, task, src, dst, op)
     else:
-        yield from _allreduce_pipelined(ctx, task, src, dst, op)
+        yield from _allreduce_pipelined(ctx, task, src, dst, op, decision.chunks)
 
 
 # ---------------------------------------------------------------------------
@@ -169,8 +170,9 @@ def _allreduce_pipelined(
     src: np.ndarray,
     dst: np.ndarray,
     op: "ReduceOp",
+    chunks: typing.Sequence[tuple[int, int]] | None = None,
 ) -> ProcessGenerator:
-    chunks = ctx.config.chunks(src.nbytes)
+    chunks = list(chunks) if chunks is not None else ctx.config.chunks(src.nbytes)
     pipeline_root = ctx.group_root
     is_global_root = task.rank == pipeline_root
     root_events = (

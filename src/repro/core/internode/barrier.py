@@ -30,7 +30,8 @@ _SIGNAL = np.zeros(0, dtype=np.uint8)
 def srm_barrier(ctx: SRMContext, task: "Task") -> ProcessGenerator:
     """One rank's part of an SRM barrier."""
     state = ctx.node_state(task)
-    manage = ctx.config.manage_interrupts
+    decision = ctx.dispatch("barrier", 0, task)
+    manage = decision.manage_interrupts
     if manage:
         task.lapi.set_interrupts(False)
     try:

@@ -59,9 +59,10 @@ def srm_broadcast(ctx: SRMContext, task: "Task", buffer: np.ndarray, root: int =
     ctx.validate_message(buffer.nbytes)
     plan = ctx.bcast_plan(root)
     state = ctx.node_state(task)
-    chunks = ctx.config.chunks(buffer.nbytes)
-    large = ctx.config.is_large(buffer.nbytes)
-    manage = ctx.config.manage_interrupts and not large
+    decision = ctx.dispatch("broadcast", buffer.nbytes, task)
+    chunks = list(decision.chunks)
+    large = decision.variant == "large"
+    manage = decision.manage_interrupts
     if manage:
         task.lapi.set_interrupts(False)
     try:

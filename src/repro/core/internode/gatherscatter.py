@@ -110,6 +110,7 @@ def srm_scatter(
     root: int = 0,
 ) -> ProcessGenerator:
     """Scatter ``sendbuf`` blocks from ``root`` into every member's ``recvbuf``."""
+    ctx.dispatch("scatter", recvbuf.nbytes, task)
     plan = _block_plan(ctx, root)
     members = ctx.members
     block = recvbuf.nbytes
@@ -162,6 +163,7 @@ def srm_gather(
     root: int = 0,
 ) -> ProcessGenerator:
     """Gather every member's ``sendbuf`` block into ``root``'s ``recvbuf``."""
+    ctx.dispatch("gather", sendbuf.nbytes, task)
     plan = _block_plan(ctx, root)
     members = ctx.members
     block = sendbuf.nbytes
@@ -205,7 +207,8 @@ def srm_allgather(
             f"allgather receive buffer is {recvbuf.nbytes} B; expected "
             f"{len(ctx.members)} blocks of {sendbuf.nbytes} B"
         )
-    if recvbuf.nbytes > ctx.config.allgather_ring_min and len(ctx.nodes) > 1:
+    decision = ctx.dispatch("allgather", recvbuf.nbytes, task)
+    if decision.variant == "ring":
         yield from _allgather_ring(ctx, task, sendbuf, recvbuf)
         return
     root = ctx.group_root
@@ -240,6 +243,7 @@ def srm_alltoall(
     """
     from repro.core.internode.barrier import srm_barrier
 
+    ctx.dispatch("alltoall", sendbuf.nbytes, task)
     members = ctx.members
     size = len(members)
     if sendbuf.nbytes != recvbuf.nbytes or sendbuf.nbytes % size:

@@ -66,10 +66,12 @@ def srm_reduce(
     ctx.validate_message(src.nbytes)
     plan = ctx.reduce_plan(root)
     state = ctx.node_state(task)
-    if chunks is None:
-        chunks = ctx.config.chunks(src.nbytes)
-    if manage is None:
-        manage = ctx.config.manage_interrupts and not ctx.config.is_large(src.nbytes)
+    if chunks is None or manage is None:
+        decision = ctx.dispatch("reduce", src.nbytes, task)
+        if chunks is None:
+            chunks = list(decision.chunks)
+        if manage is None:
+            manage = decision.manage_interrupts
     if manage:
         task.lapi.set_interrupts(False)
     try:

@@ -111,6 +111,7 @@ def srm_scan(
     """One rank's part of an inclusive SRM scan."""
     if dst.nbytes != src.nbytes:
         raise ConfigurationError("scan buffers must match in size")
+    ctx.dispatch("scan", src.nbytes, task)
     plan = _scan_plan(ctx)
     state = ctx.node_state(task)
     node = task.node.index

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.config import SRMConfig
 from repro.core.context import SRMContext
+from repro.core.dispatch import SelectionPolicy
 from repro.core.internode.allreduce import srm_allreduce
 from repro.core.internode.barrier import srm_barrier
 from repro.core.internode.broadcast import srm_broadcast
@@ -53,6 +54,14 @@ class SRM:
     MPI sub-communicator) — the §5 extension.  Each SRM instance owns its
     own shared buffers and counters, so disjoint groups can run collectives
     concurrently on one machine.
+
+    ``policy`` selects the algorithm variant per call through the protocol
+    dispatch layer (:mod:`repro.core.dispatch`): the default
+    :class:`~repro.core.dispatch.PaperPolicy` reproduces the paper's §2.4
+    switch points exactly; pass a
+    :class:`~repro.core.dispatch.CostModelPolicy`,
+    :class:`~repro.core.dispatch.TunedPolicy` (from ``python -m repro
+    tune``), or :class:`~repro.core.dispatch.FixedPolicy` to override.
     """
 
     name = "SRM"
@@ -62,10 +71,16 @@ class SRM:
         machine: Machine,
         config: SRMConfig | None = None,
         group: typing.Iterable[int] | None = None,
+        policy: "SelectionPolicy | None" = None,
     ) -> None:
         self.machine = machine
         self.config = config if config is not None else SRMConfig()
-        self.ctx = SRMContext(machine, self.config, members=group)
+        self.ctx = SRMContext(machine, self.config, members=group, policy=policy)
+
+    @property
+    def policy(self) -> "SelectionPolicy":
+        """The active selection policy (see :mod:`repro.core.dispatch`)."""
+        return self.ctx.dispatcher.policy
 
     @property
     def members(self) -> tuple[int, ...]:

@@ -107,9 +107,9 @@ class Task:
         """True when ``other_rank`` shares this task's SMP node."""
         return self.spec.same_node(self.rank, other_rank)
 
-    def phase(self, name: str) -> typing.ContextManager:
+    def phase(self, name: str, detail: str = "") -> typing.ContextManager:
         """Open a named observability phase span (``with task.phase(...)``)."""
-        return self.obs.phase(self, name)
+        return self.obs.phase(self, name, detail)
 
     # -- timed data movement -------------------------------------------------
 

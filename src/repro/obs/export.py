@@ -79,6 +79,9 @@ def chrome_trace(
         for span in recorder.spans:
             end = span.end if span.end is not None else now
             tracks_used[span.rank] = max(tracks_used.get(span.rank, 0), span.track)
+            args: dict = {"depth": span.depth, "track": span.track}
+            if span.detail:
+                args["detail"] = span.detail
             events.append(
                 {
                     "name": span.name,
@@ -88,7 +91,7 @@ def chrome_trace(
                     "dur": (end - span.start) * 1e6,
                     "pid": 0,
                     "tid": _tid(span.rank, span.track),
-                    "args": {"depth": span.depth, "track": span.track},
+                    "args": args,
                 }
             )
 

@@ -63,9 +63,9 @@ class Observability:
             "bcast.put_window_depth", "in-flight streamed puts per forwarder over time"
         )
 
-    def phase(self, task: "Task", name: str) -> typing.ContextManager:
+    def phase(self, task: "Task", name: str, detail: str = "") -> typing.ContextManager:
         """Open a named phase span for ``task`` (see :class:`PhaseRecorder`)."""
-        return self.recorder.phase(task, name)
+        return self.recorder.phase(task, name, detail)
 
     def flow(
         self,

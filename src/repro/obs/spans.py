@@ -35,7 +35,7 @@ __all__ = ["PhaseSpan", "FlowLink", "PhaseRecorder"]
 class PhaseSpan:
     """One annotated phase of one rank (possibly nested)."""
 
-    __slots__ = ("index", "rank", "name", "start", "end", "depth", "parent", "track")
+    __slots__ = ("index", "rank", "name", "start", "end", "depth", "parent", "track", "detail")
 
     def __init__(
         self,
@@ -46,6 +46,7 @@ class PhaseSpan:
         depth: int,
         parent: int,
         track: int,
+        detail: str = "",
     ) -> None:
         self.index = index
         self.rank = rank
@@ -60,6 +61,8 @@ class PhaseSpan:
         #: Per-rank sub-track: 0 for the first process that recorded a phase
         #: on this rank (the program generator), 1.. for helper processes.
         self.track = track
+        #: Free-form attribute (e.g. the dispatch layer's ``op/variant``).
+        self.detail = detail
 
     @property
     def closed(self) -> bool:
@@ -92,16 +95,19 @@ class FlowLink:
 class _PhaseContext:
     """Context manager opening/closing one span around a ``yield from``."""
 
-    __slots__ = ("_recorder", "_rank", "_name", "_span")
+    __slots__ = ("_recorder", "_rank", "_name", "_detail", "_span")
 
-    def __init__(self, recorder: "PhaseRecorder", rank: int, name: str) -> None:
+    def __init__(
+        self, recorder: "PhaseRecorder", rank: int, name: str, detail: str = ""
+    ) -> None:
         self._recorder = recorder
         self._rank = rank
         self._name = name
+        self._detail = detail
         self._span: PhaseSpan | None = None
 
     def __enter__(self) -> PhaseSpan:
-        self._span = self._recorder._open_span(self._rank, self._name)
+        self._span = self._recorder._open_span(self._rank, self._name, self._detail)
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -145,13 +151,13 @@ class PhaseRecorder:
         active = self.engine.active_process
         return (rank, id(active) if active is not None else 0)
 
-    def phase(self, task: "Task", name: str) -> typing.ContextManager:
+    def phase(self, task: "Task", name: str, detail: str = "") -> typing.ContextManager:
         """A context manager recording one phase of ``task``."""
         if not self.enabled:
             return _NULL_CONTEXT
-        return _PhaseContext(self, task.rank, name)
+        return _PhaseContext(self, task.rank, name, detail)
 
-    def _open_span(self, rank: int, name: str) -> PhaseSpan:
+    def _open_span(self, rank: int, name: str, detail: str = "") -> PhaseSpan:
         key = self._process_key(rank)
         stack = self._stacks.get(key)
         if stack is None:
@@ -171,6 +177,7 @@ class PhaseRecorder:
             depth=len(stack),
             parent=parent,
             track=track,
+            detail=detail,
         )
         self.spans.append(span)
         stack.append(span)

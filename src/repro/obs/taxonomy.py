@@ -30,7 +30,11 @@ exports and the critical-path profiler can aggregate across operations:
 * ``ring-step`` — one master-ring exchange step (allgather ring, ring
   allreduce reduce-scatter/allgather);
 * ``scan-chunk`` — one chunk's traversal of the hierarchical scan (SMP
-  prefix chain, inter-node base chain, base+local combine).
+  prefix chain, inter-node base chain, base+local combine);
+* ``dispatch`` — a zero-duration marker recording which algorithm variant
+  the protocol-dispatch layer selected for a collective call (the span's
+  ``detail`` carries ``op/variant:nbytesB``); emitted once per distinct
+  ``(op, nbytes)`` decision, never on the cached hot path.
 
 **Flow kinds** (causal links between ranks):
 
@@ -71,6 +75,7 @@ __all__ = [
     "BLOCK_TRANSFER",
     "RING_STEP",
     "SCAN_CHUNK",
+    "DISPATCH",
     "FLOW_PUT_COUNTER",
     "FLOW_PUT_COMPLETION",
     "FLOW_FLAG_WAKEUP",
@@ -105,6 +110,7 @@ BLOCK_REGISTER = "block-register"
 BLOCK_TRANSFER = "block-transfer"
 RING_STEP = "ring-step"
 SCAN_CHUNK = "scan-chunk"
+DISPATCH = "dispatch"
 
 # -- flow kinds -------------------------------------------------------------
 FLOW_PUT_COUNTER = "put-counter"
@@ -144,5 +150,6 @@ ALL_PHASES = frozenset(
         BLOCK_TRANSFER,
         RING_STEP,
         SCAN_CHUNK,
+        DISPATCH,
     }
 )

@@ -98,3 +98,93 @@ def test_evolve():
     changed = base.evolve(pipeline_chunk=2 * KB, pipeline_min=8 * KB)
     assert changed.pipeline_chunk == 2 * KB
     assert base.pipeline_chunk == 4 * KB
+
+
+# -- construction-time validation of families and allgather_ring_min --------
+
+
+def test_bad_inter_family_rejected_at_construction():
+    with pytest.raises(ConfigurationError, match="inter_family"):
+        SRMConfig(inter_family="bogus")
+
+
+def test_bad_intra_reduce_family_rejected_at_construction():
+    with pytest.raises(ConfigurationError, match="intra_reduce_family"):
+        SRMConfig(intra_reduce_family="kary")  # needs explicit arity: not valid here
+
+
+def test_family_error_lists_valid_choices():
+    with pytest.raises(ConfigurationError, match="binomial"):
+        SRMConfig(inter_family="")
+
+
+def test_all_registered_families_accepted():
+    from repro.trees.embedding import TREE_FAMILIES
+
+    for family in TREE_FAMILIES:
+        config = SRMConfig(inter_family=family, intra_reduce_family=family)
+        assert config.inter_family == family
+
+
+def test_negative_allgather_ring_min_rejected():
+    with pytest.raises(ConfigurationError, match="allgather_ring_min"):
+        SRMConfig(allgather_ring_min=-1)
+
+
+def test_zero_allgather_ring_min_allowed():
+    assert SRMConfig(allgather_ring_min=0).allgather_ring_min == 0
+
+
+# -- exhaustive chunk-boundary tiling ---------------------------------------
+
+
+def _assert_exact_tiling(config, nbytes):
+    """Offsets tile [0, nbytes) exactly: contiguous, no overlap, no gap."""
+    chunks = config.chunks(nbytes)
+    assert chunks, f"no chunks for {nbytes} B"
+    position = 0
+    for offset, size in chunks:
+        assert offset == position, f"gap/overlap at {offset} (expected {position})"
+        position += size
+    assert position == nbytes
+    if nbytes > 0:
+        assert all(size > 0 for _o, size in chunks)
+        # Only the final chunk may be short.
+        sizes = [size for _o, size in chunks]
+        assert all(size == sizes[0] for size in sizes[:-1])
+        assert sizes[-1] <= sizes[0]
+
+
+@pytest.mark.parametrize(
+    "nbytes",
+    [
+        8 * KB - 1, 8 * KB, 8 * KB + 1,          # pipeline_min boundary
+        64 * KB - 1, 64 * KB, 64 * KB + 1,       # small_protocol_max boundary
+        12 * KB - 1, 12 * KB, 12 * KB + 1,       # pipeline_chunk multiple
+        128 * KB - 1, 128 * KB, 128 * KB + 1,    # large_chunk multiple
+        1, 4 * KB, 192 * KB + 17,
+    ],
+)
+def test_chunks_tile_exactly_at_boundaries(nbytes):
+    _assert_exact_tiling(SRMConfig(), nbytes)
+
+
+def test_pipeline_min_boundary_is_inclusive():
+    config = SRMConfig()
+    assert config.chunks(8 * KB) == [(0, 8 * KB)]            # still one chunk
+    assert config.chunks(8 * KB + 1)[0] == (0, 4 * KB)       # now pipelined
+
+
+def test_small_protocol_max_boundary_is_inclusive():
+    config = SRMConfig()
+    at_limit = config.chunks(64 * KB)
+    assert all(size == 4 * KB for _o, size in at_limit)      # still 4 KB tiles
+    over = config.chunks(64 * KB + 1)
+    assert over[0] == (0, 64 * KB)                           # now streaming
+    assert over[-1] == (64 * KB, 1)
+
+
+def test_chunks_boundary_tiling_with_odd_chunk_sizes():
+    config = SRMConfig(pipeline_chunk=3 * KB, pipeline_min=6 * KB, large_chunk=7 * KB)
+    for nbytes in (6 * KB - 1, 6 * KB, 6 * KB + 1, 9 * KB, 9 * KB + 1, 70 * KB + 3):
+        _assert_exact_tiling(config, nbytes)
