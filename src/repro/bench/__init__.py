@@ -1,7 +1,10 @@
 """Benchmark harness: stack builders, timed runs, sweep grids, reporting,
-telemetry snapshots (``repro.bench.snapshot``), the perf regression gate
-(``repro.bench.regress``), and figure-shape assertions (``repro.bench.shapes``)."""
+the parallel grid executor (``repro.bench.pool``), telemetry snapshots
+(``repro.bench.snapshot``), the perf regression gate (``repro.bench.regress``),
+figure-shape assertions (``repro.bench.shapes``), and the kernel wall-clock
+self-benchmark (``repro.bench.selfbench``)."""
 
+from repro.bench.pool import resolve_jobs, run_grid
 from repro.bench.report import format_bytes, format_us, print_table, table
 from repro.bench.runner import OPERATIONS, STACKS, Measurement, build, time_operation
 from repro.bench.sweeps import (
@@ -13,6 +16,7 @@ from repro.bench.sweeps import (
     ratio_percent,
     small_message_sizes,
     sweep,
+    warm_cache,
 )
 
 __all__ = [
@@ -29,6 +33,9 @@ __all__ = [
     "processor_configs",
     "full_grid",
     "clear_cache",
+    "warm_cache",
+    "run_grid",
+    "resolve_jobs",
     "format_bytes",
     "format_us",
     "table",

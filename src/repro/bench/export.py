@@ -23,7 +23,7 @@ import typing
 
 from repro._version import __version__
 from repro.bench.runner import Measurement
-from repro.bench.sweeps import measure, message_sizes, processor_configs
+from repro.bench.sweeps import measure, message_sizes, processor_configs, warm_cache
 from repro.core import SRMConfig
 from repro.machine import CostModel
 
@@ -139,19 +139,25 @@ def to_json(measurements: typing.Iterable[Measurement], indent: int = 2) -> str:
 def collect_sweep(
     operations: typing.Sequence[str] = ("broadcast", "reduce", "allreduce", "barrier"),
     stacks: typing.Sequence[str] = ("srm", "ibm", "mpich"),
+    jobs: int = 1,
 ) -> list[Measurement]:
     """The full figure grid (sizes x processor counts x stacks x operations).
 
     Barrier ignores the size axis (measured once per processor count).
+    ``jobs > 1`` measures the grid points through the parallel pool first
+    (deterministic per point, so the export is byte-identical either way);
+    the loops below then read straight from the memo cache.
     """
-    results: list[Measurement] = []
+    specs: list[tuple] = []
     for operation in operations:
         for nodes in processor_configs():
-            if operation == "barrier":
+            sizes = [0] if operation == "barrier" else message_sizes()
+            for nbytes in sizes:
                 for stack in stacks:
-                    results.append(measure(stack, "barrier", 0, nodes))
-                continue
-            for nbytes in message_sizes():
-                for stack in stacks:
-                    results.append(measure(stack, operation, nbytes, nodes))
+                    specs.append((stack, operation, nbytes, nodes))
+    if jobs != 1:
+        warm_cache(specs, jobs=jobs)
+    results: list[Measurement] = []
+    for stack, operation, nbytes, nodes in specs:
+        results.append(measure(stack, operation, nbytes, nodes))
     return results

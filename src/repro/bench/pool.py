@@ -1,0 +1,111 @@
+"""Parallel grid executor: fan independent benchmark cells over cores.
+
+Every paper figure, snapshot, regression gate, and ``tune`` race is a grid
+of fully independent deterministic simulations — one fresh machine per
+(operation, stack, size, nodes) cell (§3's measurement protocol).  This
+module is the one shared way to run such a grid:
+
+    results = run_grid(cells, worker, jobs=4)
+
+``worker`` is applied to every cell; with ``jobs > 1`` the cells run in a
+``multiprocessing`` pool of *spawned* workers, and with ``jobs == 1`` (the
+default) the exact serial path runs in-process — no pool, no pickling, no
+child interpreters.  Either way the returned list is in **cell order**, not
+completion order, so a caller that serializes results sorted by cell key
+produces byte-identical artifacts at any ``jobs`` setting.
+
+Spawn-safety contract for workers:
+
+* ``worker`` must be a module-level function (spawned children import it by
+  qualified name; lambdas and closures will not pickle);
+* cells and results must pickle (plain tuples/dicts/dataclasses);
+* everything a cell's simulation depends on — including its RNG seed —
+  must travel *inside* the cell, never through process-global state.
+  Parent-process mutations (monkeypatches, caches) are invisible to
+  spawned children by design; that isolation is what makes parallel runs
+  reproduce serial ones.
+
+``jobs=0`` means "all cores" (``os.cpu_count()``).  Worker exceptions
+propagate to the caller in both modes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import typing
+
+from repro.errors import ConfigurationError
+
+__all__ = ["resolve_jobs", "run_grid"]
+
+Cell = typing.TypeVar("Cell")
+Result = typing.TypeVar("Result")
+
+#: Progress callback: (cell, completed count, total cells).
+ProgressFn = typing.Callable[[typing.Any, int, int], None]
+
+
+def resolve_jobs(jobs: int, cells: int | None = None) -> int:
+    """Normalize a ``--jobs`` value to a concrete worker count.
+
+    ``0`` resolves to ``os.cpu_count()``; negatives are rejected; the result
+    is clamped to the number of cells (a pool of idle workers costs spawn
+    time for nothing).
+    """
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if cells is not None:
+        jobs = min(jobs, max(1, cells))
+    return jobs
+
+
+def _invoke(payload: tuple[int, typing.Callable, typing.Any]) -> tuple[int, typing.Any]:
+    """Pool shim: run one indexed cell in a child, return (index, result)."""
+    index, worker, cell = payload
+    return index, worker(cell)
+
+
+def run_grid(
+    cells: typing.Iterable[Cell],
+    worker: typing.Callable[[Cell], Result],
+    jobs: int = 1,
+    progress: ProgressFn | None = None,
+) -> list[Result]:
+    """Apply ``worker`` to every cell, results in deterministic cell order.
+
+    ``jobs=1`` is the exact serial path (in-process, no multiprocessing
+    machinery touched); ``jobs>1`` fans cells out over a spawn pool;
+    ``jobs=0`` uses every core.  ``progress`` (if given) is called with
+    ``(cell, completed, total)`` as each cell finishes — in cell order when
+    serial, in completion order when parallel.
+    """
+    cells = list(cells)
+    jobs = resolve_jobs(jobs, len(cells))
+    if not cells:
+        return []
+    if jobs == 1:
+        results: list[Result] = []
+        for done, cell in enumerate(cells, start=1):
+            results.append(worker(cell))
+            if progress is not None:
+                progress(cell, done, len(cells))
+        return results
+
+    # Spawned (not forked) children: every worker re-imports its modules
+    # from scratch, so a cell's outcome is a pure function of the cell —
+    # the property the byte-identity guarantee rests on.
+    context = multiprocessing.get_context("spawn")
+    slots: list[Result | None] = [None] * len(cells)
+    payloads = [(index, worker, cell) for index, cell in enumerate(cells)]
+    done = 0
+    with context.Pool(processes=jobs) as pool:
+        for index, value in pool.imap_unordered(_invoke, payloads):
+            slots[index] = value
+            done += 1
+            if progress is not None:
+                progress(cells[index], done, len(cells))
+    return typing.cast("list[Result]", slots)

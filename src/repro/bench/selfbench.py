@@ -1,0 +1,95 @@
+"""Kernel wall-clock self-benchmark: simulator events per second.
+
+Every simulated microsecond this project reports is produced by
+:class:`~repro.sim.engine.Engine` popping events off a heap, so the
+kernel's *wall-clock* throughput is the single multiplier on every figure,
+snapshot, regression gate, and ``tune`` race.  This module measures it —
+``python -m repro bench --self`` — so events/second becomes a tracked
+number next to the latency snapshots instead of folklore.
+
+The workload is synthetic but mix-faithful: mostly bare Timeouts (the
+zero-callback fast lane) and single-callback process resumptions (the
+``yield timeout`` ping of every protocol spin loop), plus a sprinkling of
+``AllOf``/``AnyOf`` conditions (barrier joins, first-of waits).  It runs a
+few times and reports the best run — wall-clock benchmarks are noisy and
+the *capability* is the ceiling, not the average.
+
+The resulting document deliberately does **not** live inside a bench
+snapshot: snapshots are byte-stable measurement artifacts, while
+events/second varies with the host.  It is written as a sibling JSON
+(``kind: "repro-kernel-selfbench"``) and uploaded as its own CI artifact.
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+
+from repro.sim import Engine
+
+__all__ = [
+    "SELFBENCH_KIND",
+    "SELFBENCH_SCHEMA_VERSION",
+    "kernel_selfbench",
+]
+
+SELFBENCH_KIND = "repro-kernel-selfbench"
+SELFBENCH_SCHEMA_VERSION = 1
+
+
+def _workload(engine: Engine, width: int, rounds: int) -> None:
+    """Seed one engine with the representative event mix (not yet run)."""
+
+    def spinner(phase: int) -> typing.Generator:
+        # The shape of every flag/counter spin loop: yield a short timeout,
+        # wake up (one callback: the process resumption), repeat.
+        for i in range(rounds):
+            yield engine.timeout(1e-6 * ((i + phase) % 7 + 1))
+
+    def joiner() -> typing.Generator:
+        # Condition traffic: barrier-style AllOf joins and first-of AnyOf
+        # waits over small timeout fans.
+        for i in range(rounds // 8):
+            yield engine.all_of([engine.timeout(1e-6 * (j + 1)) for j in range(4)])
+            yield engine.any_of([engine.timeout(1e-6 * (j + 1)) for j in range(4)])
+
+    for phase in range(width):
+        engine.process(spinner(phase), name=f"spin{phase}")
+    for _ in range(max(1, width // 8)):
+        engine.process(joiner(), name="join")
+    # Fire-and-forget timeouts: the callback-free fast lane.
+    for i in range(width * rounds // 2):
+        engine.timeout(1e-6 * (i % 11 + 1))
+
+
+def kernel_selfbench(width: int = 32, rounds: int = 1500, repeats: int = 3) -> dict:
+    """Measure engine throughput; returns the self-benchmark document.
+
+    Each repeat builds a fresh engine, seeds the synthetic workload, and
+    drains it while timing with ``time.perf_counter``.  ``events`` is the
+    engine's own processed-event count (identical across repeats — the
+    workload is deterministic), ``events_per_second`` the best repeat.
+    """
+    runs: list[dict] = []
+    for _ in range(max(1, repeats)):
+        engine = Engine()
+        _workload(engine, width, rounds)
+        started = time.perf_counter()
+        engine.run()
+        elapsed = time.perf_counter() - started
+        runs.append(
+            {
+                "events": engine.events_processed,
+                "seconds": round(elapsed, 6),
+                "events_per_second": round(engine.events_processed / elapsed, 1),
+            }
+        )
+    best = max(runs, key=lambda run: run["events_per_second"])
+    return {
+        "kind": SELFBENCH_KIND,
+        "schema_version": SELFBENCH_SCHEMA_VERSION,
+        "workload": {"width": width, "rounds": rounds, "repeats": len(runs)},
+        "events": best["events"],
+        "events_per_second": best["events_per_second"],
+        "runs": runs,
+    }

@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import json
 import typing
+import zlib
 
 from repro.bench.export import bench_identity, identity_fingerprint
+from repro.bench.pool import run_grid
 from repro.bench.runner import OPERATIONS, build, looped_program, operation_body
 from repro.bench.sweeps import MB, full_grid, message_sizes, processor_configs
 from repro.errors import ConfigurationError
@@ -38,6 +40,7 @@ __all__ = [
     "bench_sizes",
     "bench_nodes",
     "cell_key",
+    "cell_seed",
     "capture_cell",
     "collect_snapshot",
     "write_snapshot",
@@ -72,6 +75,17 @@ def cell_key(cell: dict) -> tuple:
     return (cell["operation"], cell["stack"], cell["nbytes"], cell["nodes"])
 
 
+def cell_seed(operation: str, stack: str, nbytes: int, nodes: int) -> int:
+    """Deterministic per-cell machine RNG seed.
+
+    A pure function of the cell key (CRC32, stable across interpreters and
+    processes — unlike ``hash()``), so serial and parallel grid runs seed
+    every cell's machine identically, and stochastic cost features (daemon
+    noise) draw independent streams per cell instead of sharing seed 0.
+    """
+    return zlib.crc32(f"{operation}:{stack}:{nbytes}:{nodes}".encode())
+
+
 def capture_cell(
     stack: str,
     operation: str,
@@ -80,6 +94,7 @@ def capture_cell(
     tasks_per_node: int = 16,
     repeats: int | None = None,
     warmup: int = 1,
+    seed: int = 0,
 ) -> dict:
     """Measure one grid cell on a fresh machine, with full telemetry.
 
@@ -92,7 +107,7 @@ def capture_cell(
     if repeats is None:
         repeats = 2 if nbytes >= MB else 3
     spec = ClusterSpec(nodes=nodes, tasks_per_node=tasks_per_node)
-    machine, collectives = build(stack, spec)
+    machine, collectives = build(stack, spec, seed=seed)
     body = operation_body(machine, collectives, operation, nbytes)
     if warmup:
         machine.launch(looped_program(body, warmup))
@@ -106,6 +121,7 @@ def capture_cell(
         "nodes": nodes,
         "total_tasks": spec.total_tasks,
         "repeats": repeats,
+        "seed": seed,
         "microseconds": result.elapsed / repeats * 1e6,
         "metrics": machine.obs.metrics.summary(),
     }
@@ -120,32 +136,58 @@ def capture_cell(
     return cell
 
 
+def _capture_worker(spec: tuple) -> dict:
+    """Spawn-safe worker: one grid cell from one self-contained spec tuple."""
+    stack, operation, nbytes, nodes, tasks_per_node, seed = spec
+    return capture_cell(
+        stack, operation, nbytes, nodes, tasks_per_node, seed=seed
+    )
+
+
 def collect_snapshot(
     label: str = "head",
     operations: typing.Sequence[str] = OPERATIONS,
     stacks: typing.Sequence[str] = ("srm", "ibm", "mpich"),
     tasks_per_node: int = 16,
     progress: typing.Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> dict:
-    """Run the snapshot grid and assemble one snapshot document."""
+    """Run the snapshot grid and assemble one snapshot document.
+
+    ``jobs`` fans the (fully independent) cells out over a worker pool; the
+    document — cells, seeds, serialization — is byte-identical at every
+    ``jobs`` setting because each cell travels with its own seed and the
+    result list comes back in deterministic cell order.
+    """
     for operation in operations:
         if operation not in OPERATIONS:
             raise ConfigurationError(f"unknown operation {operation!r}")
     sizes = bench_sizes()
     nodes_axis = bench_nodes()
-    cells: list[dict] = []
+    specs: list[tuple] = []
     for operation in sorted(operations):
         cell_sizes = [0] if operation == "barrier" else sizes
         for stack in sorted(stacks):
             for nbytes in cell_sizes:
                 for nodes in nodes_axis:
-                    if progress is not None:
-                        progress(f"{operation} {stack} {nbytes}B x{nodes} nodes")
-                    cells.append(
-                        capture_cell(
-                            stack, operation, nbytes, nodes, tasks_per_node
+                    specs.append(
+                        (
+                            stack,
+                            operation,
+                            nbytes,
+                            nodes,
+                            tasks_per_node,
+                            cell_seed(operation, stack, nbytes, nodes),
                         )
                     )
+    pool_progress = None
+    if progress is not None:
+
+        def pool_progress(spec: tuple, done: int, total: int) -> None:
+            stack, operation, nbytes, nodes = spec[:4]
+            progress(f"{operation} {stack} {nbytes}B x{nodes} nodes")
+
+    cells = run_grid(specs, _capture_worker, jobs=jobs, progress=pool_progress)
     cells.sort(key=cell_key)
     identity = bench_identity(tasks_per_node=tasks_per_node)
     return {

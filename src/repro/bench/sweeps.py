@@ -26,6 +26,7 @@ __all__ = [
     "measure",
     "ratio_percent",
     "clear_cache",
+    "warm_cache",
 ]
 
 KB = 1024
@@ -67,6 +68,11 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def _default_repeats(nbytes: int) -> int:
+    """Timed calls per point: big cells are slow, two repeats suffice."""
+    return 2 if nbytes >= MB else 3
+
+
 def measure(
     stack: str,
     operation: str,
@@ -77,7 +83,7 @@ def measure(
 ) -> Measurement:
     """One memoized data point on the paper's standard cluster shape."""
     if repeats is None:
-        repeats = 2 if nbytes >= MB else 3
+        repeats = _default_repeats(nbytes)
     key = (stack, operation, nbytes, nodes, tasks_per_node, repeats)
     if key not in _CACHE:
         spec = ClusterSpec(nodes=nodes, tasks_per_node=tasks_per_node)
@@ -86,6 +92,53 @@ def measure(
             machine, collectives, operation, nbytes, repeats=repeats, warmup=1
         )
     return _CACHE[key]
+
+
+def _measure_worker(spec: tuple) -> Measurement:
+    """Spawn-safe worker: one sweep point from a self-contained spec tuple."""
+    stack, operation, nbytes, nodes, tasks_per_node, repeats = spec
+    return measure(stack, operation, nbytes, nodes, tasks_per_node, repeats)
+
+
+def warm_cache(
+    specs: typing.Iterable[tuple],
+    jobs: int = 1,
+    progress: typing.Callable[[typing.Any, int, int], None] | None = None,
+) -> int:
+    """Measure many grid points (possibly in parallel) into the memo cache.
+
+    ``specs`` are ``(stack, operation, nbytes, nodes[, tasks_per_node
+    [, repeats]])`` tuples — the same arguments :func:`measure` takes.
+    Already-cached and duplicate points are skipped; the rest fan out over
+    :func:`repro.bench.pool.run_grid` and land in the cache, so subsequent
+    serial :func:`measure` calls (the figure renderers, the export loops)
+    are cache hits.  Returns the number of points actually measured.
+
+    Results are identical to serial ``measure`` calls: each point runs on a
+    fresh machine either way, so only wall-clock changes with ``jobs``.
+    """
+    from repro.bench.pool import run_grid
+
+    pending: list[tuple[tuple, tuple]] = []
+    seen: set[tuple] = set()
+    for spec in specs:
+        stack, operation, nbytes, nodes = spec[:4]
+        tasks_per_node = spec[4] if len(spec) > 4 else 16
+        repeats = spec[5] if len(spec) > 5 else None
+        if repeats is None:
+            repeats = _default_repeats(nbytes)
+        key = (stack, operation, nbytes, nodes, tasks_per_node, repeats)
+        if key in seen or key in _CACHE:
+            continue
+        seen.add(key)
+        pending.append((key, key))  # a fully-resolved key doubles as the spec
+    measurements = run_grid(
+        [spec for _key, spec in pending], _measure_worker, jobs=jobs,
+        progress=progress,
+    )
+    for (key, _spec), measurement in zip(pending, measurements):
+        _CACHE[key] = measurement
+    return len(pending)
 
 
 def ratio_percent(numerator: Measurement, denominator: Measurement) -> float:

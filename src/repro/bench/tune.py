@@ -35,6 +35,7 @@ import typing
 import numpy as np
 
 from repro.bench.export import bench_identity, identity_fingerprint
+from repro.bench.pool import run_grid
 from repro.bench.runner import OPERATIONS, looped_program, operation_body
 from repro.bench.snapshot import bench_nodes, bench_sizes, write_snapshot
 from repro.bench.sweeps import KB, full_grid
@@ -126,6 +127,15 @@ def tune_cell(
     return result.elapsed / repeats * 1e6
 
 
+def _tune_worker(spec: tuple) -> float | None:
+    """Spawn-safe worker: time one (op, variant, size, nodes) candidate."""
+    operation, variant_name, nbytes, nodes, tasks_per_node, repeats = spec
+    return tune_cell(
+        operation, variant_name, nbytes, nodes,
+        tasks_per_node=tasks_per_node, repeats=repeats,
+    )
+
+
 def collect_table(
     operations: typing.Sequence[str] = TUNABLE_OPERATIONS,
     sizes: typing.Sequence[int] | None = None,
@@ -134,8 +144,15 @@ def collect_table(
     repeats: int = 2,
     label: str = "tuned",
     progress: typing.Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> dict:
-    """Sweep the grid and assemble one tuned-policy document."""
+    """Sweep the grid and assemble one tuned-policy document.
+
+    Every candidate probe runs on its own fresh machine, so the race is
+    embarrassingly parallel: ``jobs`` fans the probes out over a worker
+    pool and the resulting decision table is byte-identical at any ``jobs``
+    setting (winners are decided from the same deterministic timings).
+    """
     for operation in operations:
         if operation not in TUNABLE_OPERATIONS:
             raise ConfigurationError(
@@ -146,6 +163,25 @@ def collect_table(
         sizes = bench_sizes()
     if nodes_axis is None:
         nodes_axis = bench_nodes()
+
+    probes: list[tuple] = []
+    for operation in sorted(operations):
+        for nodes in nodes_axis:
+            for nbytes in sizes:
+                for entry in variants_for(operation):
+                    probes.append(
+                        (operation, entry.name, nbytes, nodes, tasks_per_node, repeats)
+                    )
+    pool_progress = None
+    if progress is not None:
+
+        def pool_progress(spec: tuple, done: int, total: int) -> None:
+            operation, variant_name, nbytes, nodes = spec[:4]
+            progress(f"{operation}/{variant_name} {nbytes}B x{nodes} nodes")
+
+    measured = run_grid(probes, _tune_worker, jobs=jobs, progress=pool_progress)
+    micros_by_probe = {probe[:4]: micros for probe, micros in zip(probes, measured)}
+
     table: dict[str, dict[str, list]] = {}
     cells: list[dict] = []
     for operation in sorted(operations):
@@ -155,14 +191,7 @@ def collect_table(
             for nbytes in sizes:
                 timings: dict[str, float] = {}
                 for entry in variants_for(operation):
-                    if progress is not None:
-                        progress(
-                            f"{operation}/{entry.name} {nbytes}B x{nodes} nodes"
-                        )
-                    micros = tune_cell(
-                        operation, entry.name, nbytes, nodes,
-                        tasks_per_node=tasks_per_node, repeats=repeats,
-                    )
+                    micros = micros_by_probe[(operation, entry.name, nbytes, nodes)]
                     if micros is not None:
                         timings[entry.name] = micros
                 if not timings:
@@ -210,6 +239,7 @@ def run_tune(
     operations: typing.Sequence[str] = TUNABLE_OPERATIONS,
     label: str = "tuned",
     progress: typing.Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> dict:
     """Entry point behind ``python -m repro tune``.
 
@@ -226,10 +256,11 @@ def run_tune(
             repeats=1,
             label=f"{label}-dry-run",
             progress=progress,
+            jobs=jobs,
         )
     else:
         document = collect_table(
-            operations=operations, label=label, progress=progress
+            operations=operations, label=label, progress=progress, jobs=jobs
         )
     TunedPolicy(document)  # must load, whatever else happens
     if not dry_run:

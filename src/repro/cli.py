@@ -12,9 +12,17 @@ Commands
     (``--chrome-out FILE`` additionally writes a Perfetto-loadable trace).
 ``profile --op allreduce --bytes 16384 --nodes 8 --tasks 16``
     Run one collective and print the critical-path phase breakdown.
-``bench --json-out BENCH_head.json [--label head] [--full]``
+``bench --json-out BENCH_head.json [--label head] [--full] [--jobs N]``
     Run the snapshot grid and write one schema-versioned telemetry snapshot
     (latencies + metrics + critical-path breakdown per cell).
+``bench --self [--json-out KERNEL_selfbench.json]``
+    Measure the simulator kernel's wall-clock throughput (events/second)
+    and optionally record it as a JSON artifact.
+
+Grid-shaped commands (``bench``, ``regress`` fresh runs, ``tune``,
+``export``, ``figures``) accept ``--jobs N`` to fan their independent grid
+cells over N worker processes (``--jobs 0`` = every core; default serial).
+Artifacts are byte-identical at any ``--jobs`` setting.
 ``regress --baseline BENCH_seed.json [--candidate BENCH_head.json]
 [--tolerance 0.05] [--update]``
     Diff a candidate snapshot (or a fresh run) against the committed
@@ -186,23 +194,51 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
+    if args.self_bench:
+        return _cmd_bench_self(args)
+
     from repro.bench.snapshot import collect_snapshot, write_snapshot
 
     if args.full:
         os.environ["REPRO_BENCH_FULL"] = "1"
+    json_out = args.json_out or "BENCH_head.json"
     operations = tuple(op.strip() for op in args.ops.split(",") if op.strip())
     progress = None
-    if not args.quiet and args.json_out != "-":
+    if not args.quiet and json_out != "-":
         progress = lambda text: print(f"  bench {text}", flush=True)  # noqa: E731
     snapshot = collect_snapshot(
-        label=args.label, operations=operations, progress=progress
+        label=args.label, operations=operations, progress=progress,
+        jobs=args.jobs,
     )
-    write_snapshot(args.json_out, snapshot)
-    if args.json_out != "-":
+    write_snapshot(json_out, snapshot)
+    if json_out != "-":
         print(
-            f"wrote {len(snapshot['cells'])} cells to {args.json_out} "
+            f"wrote {len(snapshot['cells'])} cells to {json_out} "
             f"(schema v{snapshot['schema_version']}, identity {snapshot['fingerprint']})"
         )
+    return 0
+
+
+def _cmd_bench_self(args: argparse.Namespace) -> int:
+    """``bench --self``: kernel events/second, tracked instead of folklore."""
+    import json
+
+    from repro.bench.selfbench import kernel_selfbench
+
+    document = kernel_selfbench()
+    print(
+        f"kernel throughput: {document['events_per_second']:,.0f} events/s "
+        f"(best of {document['workload']['repeats']} runs, "
+        f"{document['events']} events each)"
+    )
+    if args.json_out:
+        text = json.dumps(document, indent=1, sort_keys=True)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote kernel self-benchmark to {args.json_out}")
     return 0
 
 
@@ -216,7 +252,7 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         candidate = load_snapshot(args.candidate)
     else:
         print("no --candidate given; running the snapshot grid now", flush=True)
-        candidate = collect_snapshot(label="head")
+        candidate = collect_snapshot(label="head", jobs=args.jobs)
         if args.json_out:
             write_snapshot(args.json_out, candidate)
             print(f"wrote fresh candidate snapshot to {args.json_out}")
@@ -247,6 +283,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         operations=operations or TUNABLE_OPERATIONS,
         label=args.label,
         progress=progress,
+        jobs=args.jobs,
     )
     decided = sum(
         len(rows)
@@ -342,12 +379,44 @@ def _figure_ratio(number: int, operation: str) -> None:
     )
 
 
+def _figure_specs(wanted: typing.Sequence[int]) -> list[tuple]:
+    """Every (stack, op, nbytes, nodes) point the chosen figures will plot."""
+    specs: list[tuple] = []
+    last = processor_configs()[-1]
+    for number in wanted:
+        if number in (6, 7, 8):
+            operation = _FIGURES[number]
+            for nodes in processor_configs():
+                for nbytes in message_sizes():
+                    specs.append(("srm", operation, nbytes, nodes))
+            for stack in ("srm", "ibm", "mpich"):
+                for nbytes in small_message_sizes():
+                    specs.append((stack, operation, nbytes, last))
+        elif number in (9, 10, 11):
+            operation = _FIGURES[number - 3]
+            for stack in ("srm", "ibm", "mpich"):
+                for nbytes in message_sizes():
+                    specs.append((stack, operation, nbytes, last))
+        elif number == 12:
+            for stack in ("srm", "ibm", "mpich"):
+                for nodes in processor_configs():
+                    specs.append((stack, "barrier", 0, nodes))
+    return specs
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     import os
+
+    from repro.bench import warm_cache
 
     if args.full:
         os.environ["REPRO_BENCH_FULL"] = "1"
     wanted = [args.fig] if args.fig else [6, 7, 8, 9, 10, 11, 12]
+    if args.jobs != 1:
+        # Fan the figures' grid points over the pool first; the renderers
+        # below then read the memoized measurements back serially, so the
+        # printed charts are identical at any --jobs setting.
+        warm_cache(_figure_specs(wanted), jobs=args.jobs)
     for number in wanted:
         if number in (6, 7, 8):
             _figure_absolute(number, _FIGURES[number])
@@ -370,7 +439,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     if args.full:
         os.environ["REPRO_BENCH_FULL"] = "1"
     operations = tuple(op.strip() for op in args.ops.split(",") if op.strip())
-    measurements = collect_sweep(operations=operations)
+    measurements = collect_sweep(operations=operations, jobs=args.jobs)
     text = to_csv(measurements) if args.format == "csv" else to_json(measurements)
     if args.out == "-":
         print(text, end="")
@@ -388,9 +457,17 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="fan grid cells over N worker processes (0 = all cores; "
+            "default 1 = serial; results are byte-identical either way)",
+        )
+
     figures = commands.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument("--fig", type=int, default=None, help="only this figure number")
     figures.add_argument("--full", action="store_true", help="use the full paper grid")
+    add_jobs(figures)
     figures.set_defaults(handler=_cmd_figures)
 
     compare = commands.add_parser("compare", help="one data point across all stacks")
@@ -434,12 +511,20 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         "bench", help="run the snapshot grid and write a telemetry snapshot"
     )
     bench.add_argument(
-        "--json-out", default="BENCH_head.json", help="snapshot path ('-' = stdout)"
+        "--json-out", default=None,
+        help="output path ('-' = stdout; default BENCH_head.json, "
+        "or nothing for --self)",
     )
     bench.add_argument("--label", default="head", help="label stored in the snapshot")
     bench.add_argument("--ops", default="broadcast,reduce,allreduce,barrier")
     bench.add_argument("--full", action="store_true", help="use the full paper grid")
     bench.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    bench.add_argument(
+        "--self", dest="self_bench", action="store_true",
+        help="measure kernel wall-clock throughput (events/second) instead "
+        "of running the grid",
+    )
+    add_jobs(bench)
     bench.set_defaults(handler=_cmd_bench)
 
     regress = commands.add_parser(
@@ -463,6 +548,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         help="also write a freshly-run candidate snapshot here",
     )
     regress.add_argument("--verbose", action="store_true", help="list every cell")
+    add_jobs(regress)
     regress.set_defaults(handler=_cmd_regress)
 
     tune = commands.add_parser(
@@ -476,6 +562,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         help="sweep a micro-grid, validate the document round-trips, write nothing",
     )
     tune.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    add_jobs(tune)
     tune.set_defaults(handler=_cmd_tune)
 
     info = commands.add_parser("info", help="dump cost model + SRM configuration")
@@ -486,6 +573,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     export.add_argument("--out", default="-", help="output path ('-' = stdout)")
     export.add_argument("--ops", default="broadcast,reduce,allreduce,barrier")
     export.add_argument("--full", action="store_true", help="use the full paper grid")
+    add_jobs(export)
     export.set_defaults(handler=_cmd_export)
 
     args = parser.parse_args(argv)

@@ -92,15 +92,17 @@ MAX = ReduceOp(
 )
 LAND = ReduceOp(
     "land",
-    lambda d, s: np.copyto(d, (d.astype(bool) & s.astype(bool)).astype(d.dtype)),
+    # logical_and/or write their boolean result straight into the numeric
+    # out array (0/1 in d's dtype) — no .astype(bool) temporaries.
+    lambda d, s: np.logical_and(d, s, out=d),
     lambda _dt: 1,
-    lambda d, a, b: np.copyto(d, (a.astype(bool) & b.astype(bool)).astype(d.dtype)),
+    lambda d, a, b: np.logical_and(a, b, out=d),
 )
 LOR = ReduceOp(
     "lor",
-    lambda d, s: np.copyto(d, (d.astype(bool) | s.astype(bool)).astype(d.dtype)),
+    lambda d, s: np.logical_or(d, s, out=d),
     lambda _dt: 0,
-    lambda d, a, b: np.copyto(d, (a.astype(bool) | b.astype(bool)).astype(d.dtype)),
+    lambda d, a, b: np.logical_or(a, b, out=d),
 )
 BAND = ReduceOp(
     "band",

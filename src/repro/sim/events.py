@@ -41,17 +41,21 @@ class Event:
         Optional label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("engine", "callbacks", "name", "_value", "_ok", "_defused", "_processed")
+    __slots__ = ("engine", "name", "_value", "_ok", "_defused", "_processed", "_cb0", "_cbs")
 
     def __init__(self, engine: "Engine", name: str | None = None) -> None:
         self.engine = engine
-        #: Callables invoked with this event when it is processed.
-        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
         self.name = name
         self._value: typing.Any = PENDING
         self._ok: bool | None = None
         self._defused = False
         self._processed = False
+        # Callback storage is lazy: the overwhelmingly common cases are zero
+        # callbacks (bare Timeouts, fire-and-forget completions) and exactly
+        # one (a process resumption), so the first callback lives in a plain
+        # slot and only the second-and-later ones allocate a list.
+        self._cb0: typing.Callable[["Event"], None] | None = None
+        self._cbs: list[typing.Callable[["Event"], None]] | None = None
 
     # -- state queries ---------------------------------------------------
 
@@ -78,6 +82,22 @@ class Event:
         if self._value is PENDING:
             raise SimulationError(f"{self!r} has not been triggered yet")
         return self._value
+
+    @property
+    def callbacks(self) -> list[typing.Callable[["Event"], None]] | None:
+        """A snapshot of the pending callbacks (``None`` once processed).
+
+        Introspection only — attach callbacks through :meth:`add_callback`,
+        which keeps the zero/one-callback fast-lane storage intact.
+        """
+        if self._processed:
+            return None
+        snapshot: list[typing.Callable[["Event"], None]] = []
+        if self._cb0 is not None:
+            snapshot.append(self._cb0)
+        if self._cbs is not None:
+            snapshot.extend(self._cbs)
+        return snapshot
 
     # -- triggering ------------------------------------------------------
 
@@ -114,12 +134,17 @@ class Event:
 
     def _fire(self) -> None:
         """Run callbacks.  Called exactly once by the engine."""
-        callbacks = self.callbacks
-        self.callbacks = None
+        assert not self._processed
+        cb0 = self._cb0
+        cbs = self._cbs
+        self._cb0 = None
+        self._cbs = None
         self._processed = True
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(self)
+        if cb0 is not None:
+            cb0(self)
+            if cbs is not None:
+                for callback in cbs:
+                    callback(self)
         if self._ok is False and not self._defused:
             raise self._value
 
@@ -130,9 +155,14 @@ class Event:
         *processed* event is a protocol violation because the callback would
         never run.
         """
-        if self.callbacks is None:
+        if self._processed:
             raise SimulationError(f"cannot add a callback to processed {self!r}")
-        self.callbacks.append(callback)
+        if self._cb0 is None:
+            self._cb0 = callback
+        elif self._cbs is None:
+            self._cbs = [callback]
+        else:
+            self._cbs.append(callback)
 
     def __repr__(self) -> str:
         state = "processed" if self._processed else ("triggered" if self.triggered else "pending")
@@ -228,7 +258,17 @@ class AnyOf(_Condition):
     Fails if the first child to fire failed.
     """
 
-    __slots__ = ()
+    __slots__ = ("_index",)
+
+    def __init__(self, engine: "Engine", events: typing.Iterable[Event]) -> None:
+        super().__init__(engine, events)
+        # Event -> construction index, resolved in O(1) by _observe instead
+        # of an O(n) list scan per firing child.  setdefault keeps the first
+        # position of a duplicated child, matching list.index semantics.
+        index_of: dict[Event, int] = {}
+        for position, event in enumerate(self.events):
+            index_of.setdefault(event, position)
+        self._index = index_of
 
     def _check_initial(self) -> None:
         if not self.events:
@@ -244,7 +284,7 @@ class AnyOf(_Condition):
         if self.triggered:
             event.defuse()
             return
-        index = self.events.index(event)
+        index = self._index[event]
         if event.ok:
             self.succeed((index, event.value))
         else:

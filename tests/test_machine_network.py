@@ -156,6 +156,22 @@ def test_logical_ops():
     assert np.array_equal(out, [0, 1, 1])
 
 
+def test_logical_ops_preserve_dtype_and_support_aliasing():
+    # logical_and/or with out= must write 0/1 back in the destination's own
+    # dtype (no bool temporaries) and tolerate dst aliasing an operand.
+    land, lor = by_name("land"), by_name("lor")
+    dst = np.array([0.5, 0.0, 3.0], dtype=np.float64)
+    land(dst, np.array([1.0, 1.0, 0.0]))
+    assert dst.dtype == np.float64
+    assert np.array_equal(dst, [1.0, 0.0, 0.0])
+    alias = np.array([0, 2, 0], dtype=np.uint8)
+    lor.combine_into(alias, alias, np.array([0, 0, 5], dtype=np.uint8))
+    assert alias.dtype == np.uint8
+    assert np.array_equal(alias, [0, 1, 1])
+    assert land.identity_for(np.int32) == 1
+    assert lor.identity_for(np.float64) == 0
+
+
 def test_bitwise_ops():
     band = by_name("band")
     dst = np.array([0b1100], dtype=np.int64)

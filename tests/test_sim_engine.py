@@ -118,6 +118,61 @@ def test_events_processed_counter():
     assert engine.events_processed == 2
 
 
+def test_run_until_event_mid_batch_leaves_rest_queued():
+    # Four same-time events; stopping on the second must leave the other
+    # two queued (batched popping pushes unfired entries back untouched).
+    engine = Engine()
+    seen = []
+    timers = [engine.timeout(1.0, value=label) for label in "abcd"]
+    for timer in timers:
+        timer.add_callback(lambda e: seen.append(e.value))
+    engine.run(until=timers[1])
+    assert seen == ["a", "b"]
+    assert engine.events_processed == 2
+    assert engine.peek() == 1.0  # c and d still queued at their time
+    engine.run()
+    assert seen == ["a", "b", "c", "d"]
+    assert engine.events_processed == 4
+
+
+def test_callback_exception_mid_batch_preserves_queue():
+    class Boom(Exception):
+        pass
+
+    engine = Engine()
+    seen = []
+    first = engine.timeout(1.0, value="a")
+    first.add_callback(lambda e: seen.append(e.value))
+    bad = engine.event()
+    bad.fail(Boom(), delay=1.0)
+    last = engine.timeout(1.0, value="c")
+    last.add_callback(lambda e: seen.append(e.value))
+    target = engine.timeout(2.0)
+    with pytest.raises(Boom):
+        engine.run(until=target)
+    assert seen == ["a"]  # the raise stopped the batch after "a" and bad
+    engine.run()  # "c" went back to the queue with its original key
+    assert seen == ["a", "c"]
+    assert engine.now == 2.0
+
+
+def test_callback_scheduled_same_time_event_lands_in_later_batch():
+    engine = Engine()
+    seen = []
+
+    def chain(event):
+        seen.append(event.value)
+        engine.timeout(0.0, value="late").add_callback(lambda e: seen.append(e.value))
+
+    engine.timeout(1.0, value="first").add_callback(chain)
+    engine.timeout(1.0, value="second").add_callback(lambda e: seen.append(e.value))
+    done = engine.timeout(2.0)
+    engine.run(until=done)
+    # "late" fires at t=1.0 too, but with a later sequence number — after
+    # everything scheduled before it, exactly as one-at-a-time stepping.
+    assert seen == ["first", "second", "late"]
+
+
 def test_determinism_same_program_same_trace():
     def trace_run():
         engine = Engine()

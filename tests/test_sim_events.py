@@ -209,6 +209,40 @@ def test_callback_on_processed_event_rejected():
         timer.add_callback(lambda e: None)
 
 
+def test_callbacks_property_reflects_lazy_storage():
+    engine = Engine()
+    event = engine.event()
+    assert event.callbacks == []
+    first, second, third = (lambda e: None), (lambda e: None), (lambda e: None)
+    event.add_callback(first)
+    assert event.callbacks == [first]
+    event.add_callback(second)
+    event.add_callback(third)
+    assert event.callbacks == [first, second, third]
+    event.callbacks.append("intruder")  # snapshots are detached copies
+    assert event.callbacks == [first, second, third]
+    event.succeed()
+    engine.run()
+    assert event.callbacks is None  # matches the processed-event contract
+
+
+def test_all_callbacks_run_in_add_order():
+    engine = Engine()
+    seen = []
+    timer = engine.timeout(1.0)
+    for tag in range(4):  # exercises the _cb0 slot plus the overflow list
+        timer.add_callback(lambda e, tag=tag: seen.append(tag))
+    engine.run()
+    assert seen == [0, 1, 2, 3]
+
+
+def test_any_of_duplicate_event_reports_first_index():
+    engine = Engine()
+    timer = engine.timeout(1.0, value="x")
+    condition = engine.any_of([timer, timer])
+    assert engine.run(until=condition) == (0, "x")
+
+
 def test_process_waiting_on_introspection():
     engine = Engine()
     gate = engine.event()
