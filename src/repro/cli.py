@@ -31,6 +31,12 @@ Artifacts are byte-identical at any ``--jobs`` setting.
     Race every registered algorithm variant over the bench grid and write
     the per-cell winners as a ``TunedPolicy`` decision table
     (``SRM(machine, policy=TunedPolicy.load("TUNED.json"))``).
+``verify [--schedules N] [--explorer random|dfs] [--quick] [--smoke]``
+    Explore many legal event interleavings of every SRM collective on a
+    small-config grid, checking protocol invariants (read-before-READY,
+    in-use buffer overwrite, counter monotonicity), deadlock freedom, and
+    schedule-invariance of the results; ``--smoke`` instead injects known
+    synchronization bugs and asserts the harness reports them.
 ``info``
     Dump the calibrated cost model and the default SRM configuration.
 """
@@ -303,6 +309,67 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.verify import build_report, run_mutation_smoke, run_verify, write_report
+    from repro.verify.runner import VERIFY_OPERATIONS, default_grid, quick_grid
+
+    progress = None
+    if not args.quiet:
+        progress = lambda text: print(f"  verify {text}", flush=True)  # noqa: E731
+
+    if args.smoke:
+        body = run_mutation_smoke(seed=args.seed, progress=progress)
+        report = build_report(body, label=args.label)
+        if args.json_out:
+            write_report(args.json_out, report)
+            if args.json_out != "-":
+                print(f"wrote mutation-smoke report to {args.json_out}")
+        detected = sum(1 for result in body["mutations"] if result["detected"])
+        print(
+            f"mutation smoke: {detected}/{len(body['mutations'])} injected bugs "
+            f"detected ({'ok' if body['ok'] else 'FAIL'})"
+        )
+        return 0 if body["ok"] else 1
+
+    operations = tuple(op.strip() for op in args.ops.split(",") if op.strip())
+    for operation in operations:
+        if operation not in VERIFY_OPERATIONS:
+            print(f"unknown operation {operation!r}", file=sys.stderr)
+            return 2
+    if args.quick:
+        cells = [cell for cell in quick_grid() if cell.operation in operations]
+    else:
+        node_counts = tuple(int(n) for n in args.nodes.split(",") if n.strip())
+        proc_counts = tuple(int(p) for p in args.procs.split(",") if p.strip())
+        cells = default_grid(
+            node_counts=node_counts, proc_counts=proc_counts, operations=operations
+        )
+    metrics = MetricsRegistry()
+    body = run_verify(
+        cells,
+        schedules=args.schedules,
+        explorer=args.explorer,
+        seed=args.seed,
+        faults=not args.no_faults,
+        metrics=metrics,
+        progress=progress,
+    )
+    report = build_report(body, label=args.label)
+    if args.json_out:
+        write_report(args.json_out, report)
+        if args.json_out != "-":
+            print(f"wrote verification report to {args.json_out}")
+    totals = body["totals"]
+    print(
+        f"verify: {totals['cells_ok']}/{totals['cells']} cells ok, "
+        f"{totals['schedules']} schedules explored, "
+        f"{totals['violations']} violations, {totals['divergences']} divergences, "
+        f"{totals['errors']} errors ({'ok' if body['ok'] else 'FAIL'})"
+    )
+    return 0 if body["ok"] else 1
+
+
 _FIGURES: dict[int, str] = {
     6: "broadcast",
     7: "reduce",
@@ -564,6 +631,45 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     tune.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
     add_jobs(tune)
     tune.set_defaults(handler=_cmd_tune)
+
+    verify = commands.add_parser(
+        "verify", help="explore schedules and check protocol invariants"
+    )
+    verify.add_argument(
+        "--nodes", default="2,4", help="comma-separated node counts (default 2,4)"
+    )
+    verify.add_argument(
+        "--procs", default="2,3",
+        help="comma-separated tasks-per-node counts (default 2,3)",
+    )
+    verify.add_argument("--ops", default="broadcast,reduce,allreduce,barrier")
+    verify.add_argument(
+        "--schedules", type=int, default=56,
+        help="distinct-schedule target per cell (default 56)",
+    )
+    verify.add_argument(
+        "--explorer", default="random", choices=["random", "dfs"],
+        help="tie-break exploration driver (default random)",
+    )
+    verify.add_argument("--seed", type=int, default=0, help="exploration base seed")
+    verify.add_argument(
+        "--no-faults", action="store_true",
+        help="disable timing fault injection (jitter, wakeup reorder, stalls)",
+    )
+    verify.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized subset: 2x2 shapes, small+pipelined regimes",
+    )
+    verify.add_argument(
+        "--smoke", action="store_true",
+        help="mutation smoke: inject known sync bugs, require detection",
+    )
+    verify.add_argument(
+        "--json-out", default=None, help="write the JSON report here ('-' = stdout)"
+    )
+    verify.add_argument("--label", default="head", help="label stored in the report")
+    verify.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    verify.set_defaults(handler=_cmd_verify)
 
     info = commands.add_parser("info", help="dump cost model + SRM configuration")
     info.set_defaults(handler=_cmd_info)

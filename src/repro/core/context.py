@@ -73,8 +73,8 @@ class NodeState:
         self.reduce_slots: list[tuple[np.ndarray, np.ndarray]] = [
             (segment.allocate(chunk), segment.allocate(chunk)) for _ in range(size)
         ]
-        self.reduce_ready = FlagArray(node, size, name=f"rdy[{node.index}]")
-        self.reduce_consumed = FlagArray(node, size, name=f"cons[{node.index}]")
+        self.reduce_ready = FlagArray(node, size, name=f"rdy[{node.index}]", kind="sequence")
+        self.reduce_consumed = FlagArray(node, size, name=f"cons[{node.index}]", kind="sequence")
         #: Per-task count of chunks this task has contributed to SMP reduces.
         self.reduce_seq = [0] * size
         #: Per task, per slot: the global sequence of the last write into that
@@ -86,7 +86,7 @@ class NodeState:
         self.partial = (segment.allocate(chunk), segment.allocate(chunk))
 
         # Barrier: one flag per task, own cache line (§2.2).
-        self.barrier_flags = FlagArray(node, size, name=f"bar[{node.index}]")
+        self.barrier_flags = FlagArray(node, size, name=f"bar[{node.index}]", kind="checkin")
 
     @property
     def size(self) -> int:

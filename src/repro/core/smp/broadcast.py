@@ -54,6 +54,7 @@ def fill_slot(state: NodeState, task: "Task", slot: int, src_chunk: np.ndarray) 
     me = state.index_of(task)
     with task.phase(SLOT_FILL):
         yield from flags.wait_all(task, lambda v: v == 0, skip=me)
+        state.bcast_buf.check_fill(slot, writer_index=me)
         yield from task.copy(state.bcast_buf.data(slot, src_chunk.nbytes), src_chunk)
         yield from flags.set_all(task, 1, skip=me)
 
@@ -66,15 +67,20 @@ def announce_slot(state: NodeState, task: "Task", slot: int) -> ProcessGenerator
     refilled it.
     """
     flags = state.bcast_buf.flags(slot)
+    # The inter-node free-counter ack must have fenced this slot: announcing
+    # a buffer some reader still holds READY would overwrite in-use data.
+    state.bcast_buf.check_fill(slot, writer_index=state.index_of(task))
     with task.phase(SLOT_ANNOUNCE):
         yield from flags.set_all(task, 1, skip=state.index_of(task))
 
 
 def drain_slot(state: NodeState, task: "Task", slot: int, dst_chunk: np.ndarray) -> ProcessGenerator:
     """Reader side: wait READY, copy the chunk out, clear own flag."""
-    flag = state.bcast_buf.flags(slot)[state.index_of(task)]
+    me = state.index_of(task)
+    flag = state.bcast_buf.flags(slot)[me]
     with task.phase(SLOT_DRAIN):
         yield from flag.wait_value(task, 1)
+        state.bcast_buf.check_drain(slot, reader_index=me)
         yield from task.copy(dst_chunk, state.bcast_buf.data(slot, dst_chunk.nbytes))
         yield from flag.set(task, 0)
 
@@ -119,9 +125,9 @@ class _TreeBcastState:
         chunk = state.config.shared_buffer_bytes
         segment = SharedSegment(node, size * chunk + 64 * (size + 2), name=f"treebc[{node.index}]")
         self.slots = [segment.allocate(chunk) for _ in range(size)]
-        self.ready = FlagArray(node, size, name=f"treebc-rdy[{node.index}]")
+        self.ready = FlagArray(node, size, name=f"treebc-rdy[{node.index}]", kind="sequence")
         #: consumed[c] = chunks task c has copied out of its parent's slot.
-        self.consumed = FlagArray(node, size, name=f"treebc-cons[{node.index}]")
+        self.consumed = FlagArray(node, size, name=f"treebc-cons[{node.index}]", kind="sequence")
         self.seq = [0] * size
 
 

@@ -42,4 +42,18 @@ class TruncationError(ProtocolError):
 
 
 class DeadlockError(SimulationError):
-    """Raised when the event queue drains while processes are still blocked."""
+    """Raised when the event queue drains while processes are still blocked.
+
+    The message names every still-blocked process and the event each one is
+    waiting on, so schedule-exploration failures are diagnosable from the
+    exception alone.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised by the verification harness (:mod:`repro.verify`).
+
+    Covers strict-mode invariant violations (a protocol rule observably
+    broken during a run) and harness misconfiguration (unknown mutation or
+    explorer names).
+    """

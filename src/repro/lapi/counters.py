@@ -40,6 +40,9 @@ class LapiCounter:
         """Dispatcher-side increment; wakes waiters whose threshold is met."""
         if amount < 1:
             raise ProtocolError(f"increment must be >= 1, got {amount}")
+        verifier = self.engine.verifier
+        if verifier is not None:
+            verifier.on_counter_increment(self, self._value, self._value + amount)
         self._value += amount
         self._wake()
 
@@ -47,6 +50,9 @@ class LapiCounter:
         """``LAPI_Setcntr``: overwrite the value (used between operations)."""
         if value < 0:
             raise ProtocolError(f"counter cannot be set negative: {value}")
+        verifier = self.engine.verifier
+        if verifier is not None:
+            verifier.on_counter_set(self, self._value, int(value), len(self._waiters))
         self._value = int(value)
         self._wake()
 
@@ -72,6 +78,9 @@ class LapiCounter:
 
     def consume(self, amount: int) -> None:
         """Subtract ``amount`` after a satisfied wait (``LAPI_Waitcntr``)."""
+        verifier = self.engine.verifier
+        if verifier is not None:
+            verifier.on_counter_consume(self, self._value, amount)
         if amount > self._value:
             raise ProtocolError(
                 f"cannot consume {amount} from counter {self.name!r}={self._value}"

@@ -205,6 +205,12 @@ class LapiEndpoint:
         self.obs.put_sizes.observe(nbytes)
 
         def deliver() -> ProcessGenerator:
+            faults = self.engine.faults
+            if faults is not None:
+                # Fault injection: jitter the delivery (dispatcher delay).
+                jitter = faults.put_jitter()
+                if jitter > 0.0:
+                    yield self.engine.timeout(jitter)
             if target_task.node is self.task.node:
                 # Intra-node put short-circuits through the memory bus.
                 if nbytes > 0:

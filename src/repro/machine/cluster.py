@@ -223,10 +223,14 @@ class Machine:
         cost: CostModel | None = None,
         seed: int = 0,
         observe: bool = True,
+        scheduler: typing.Any = None,
     ) -> None:
         self.spec = spec
         self.cost = cost if cost is not None else CostModel.ibm_sp_colony()
-        self.engine = Engine()
+        #: ``scheduler`` (a :class:`repro.sim.scheduler.Scheduler`) selects
+        #: the engine's same-timestamp tie-break policy; ``None`` keeps the
+        #: default deterministic order and the engine's fast paths.
+        self.engine = Engine(scheduler=scheduler)
         #: Always-on metrics + phase recorder; ``observe=False`` swaps in
         #: no-op instruments (used to assert observation never perturbs
         #: simulated results).

@@ -52,11 +52,12 @@ class DoubleBuffer:
             segment.allocate(buffer_bytes),
         )
         self.ready: tuple[FlagArray, FlagArray] = (
-            FlagArray(node, flags_per_buffer, name=f"{name}-readyA"),
-            FlagArray(node, flags_per_buffer, name=f"{name}-readyB"),
+            FlagArray(node, flags_per_buffer, name=f"{name}-readyA", kind="ready"),
+            FlagArray(node, flags_per_buffer, name=f"{name}-readyB", kind="ready"),
         )
         #: Number of buffer selections made so far; parity picks A or B.
         self.cursor = 0
+        self.engine = node.machine.engine
 
     def next_slot(self) -> int:
         """Advance the alternation cursor and return the chosen slot (0/1)."""
@@ -83,6 +84,26 @@ class DoubleBuffer:
         if slot not in (0, 1):
             raise ProtocolError(f"slot must be 0 or 1, got {slot}")
         return self.ready[slot]
+
+    # -- verification checkpoints -------------------------------------------
+    #
+    # Protocol code announces its intent just before touching a buffer; the
+    # attached verifier (if any) checks the READY bank agrees.  Both calls
+    # are single-attribute-test no-ops when verification is off.
+
+    def check_fill(self, slot: int, writer_index: int | None = None) -> None:
+        """About to (over)write buffer ``slot``: every reader's READY flag
+        must be clear, else an in-use pipeline buffer is being clobbered."""
+        verifier = self.engine.verifier
+        if verifier is not None:
+            verifier.on_buffer_fill(self, slot, writer_index)
+
+    def check_drain(self, slot: int, reader_index: int) -> None:
+        """About to read buffer ``slot`` as reader ``reader_index``: that
+        reader's READY flag must be set, else this is a read-before-ready."""
+        verifier = self.engine.verifier
+        if verifier is not None:
+            verifier.on_buffer_drain(self, slot, reader_index)
 
     def __repr__(self) -> str:
         return (

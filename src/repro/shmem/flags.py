@@ -42,14 +42,34 @@ Predicate = typing.Callable[[int], bool]
 
 
 class SharedFlag:
-    """One integer flag in node shared memory (its own cache line)."""
+    """One integer flag in node shared memory (its own cache line).
 
-    def __init__(self, node: "Node", initial: int = 0, name: str | None = None) -> None:
+    ``kind`` declares the flag's synchronization discipline so the
+    verification harness (:mod:`repro.verify`) can apply the matching
+    invariant checker; it is purely declarative and free when no verifier
+    is attached to the engine:
+
+    * ``"ready"`` — a READY handshake flag (0 = free, 1 = data available);
+      the writer may only set 0→1 and the reader may only clear 1→0.
+    * ``"checkin"`` — a barrier check-in flag with the same 0/1 pairing.
+    * ``"sequence"`` — a cumulative chunk counter; values must be monotone
+      non-decreasing.
+    * ``None`` — no declared discipline (no checks).
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        initial: int = 0,
+        name: str | None = None,
+        kind: str | None = None,
+    ) -> None:
         self.node = node
         self.engine = node.machine.engine
         self.cost = node.machine.cost
         self.obs = node.machine.obs
         self.name = name
+        self.kind = kind
         self._value = int(initial)
         self._waiters: list[tuple[Predicate, Event, int | None]] = []
 
@@ -79,12 +99,21 @@ class SharedFlag:
         ``writer_rank`` attributes the resulting waiter wakeups to the
         storing task in the recorded flow links.
         """
+        verifier = self.engine.verifier
+        if verifier is not None:
+            verifier.on_flag_store(self, self._value, int(value), writer_rank)
         self._value = int(value)
         if not self._waiters:
             return
         now = self.engine.now
+        waiters = self._waiters
+        faults = self.engine.faults
+        if faults is not None:
+            # Fault injection: release satisfied waiters in a perturbed
+            # order (changes resume scheduling order, not who is released).
+            waiters = faults.reorder_wakeups(waiters)
         still_waiting: list[tuple[Predicate, Event, int | None]] = []
-        for predicate, event, waiter_rank in self._waiters:
+        for predicate, event, waiter_rank in waiters:
             if predicate(self._value):
                 event.succeed(self._value)
                 if writer_rank is not None and waiter_rank is not None:
@@ -149,14 +178,24 @@ class SharedFlag:
 class FlagArray:
     """A bank of per-task flags, each on its own cache line (paper §2.2)."""
 
-    def __init__(self, node: "Node", count: int, initial: int = 0, name: str = "flags") -> None:
+    def __init__(
+        self,
+        node: "Node",
+        count: int,
+        initial: int = 0,
+        name: str = "flags",
+        kind: str | None = None,
+    ) -> None:
         if count < 1:
             raise ProtocolError(f"FlagArray needs >= 1 flag, got {count}")
         self.node = node
         self.engine = node.machine.engine
         self.cost = node.machine.cost
         self.name = name
-        self.flags = [SharedFlag(node, initial, name=f"{name}[{i}]") for i in range(count)]
+        self.kind = kind
+        self.flags = [
+            SharedFlag(node, initial, name=f"{name}[{i}]", kind=kind) for i in range(count)
+        ]
 
     def __len__(self) -> int:
         return len(self.flags)

@@ -9,9 +9,14 @@ from repro.sim.engine import Engine
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 from repro.sim.resources import FifoResource, Gate, SharedBandwidth
+from repro.sim.scheduler import FifoScheduler, RandomScheduler, ReplayScheduler, Scheduler
 
 __all__ = [
     "Engine",
+    "Scheduler",
+    "FifoScheduler",
+    "RandomScheduler",
+    "ReplayScheduler",
     "Event",
     "Timeout",
     "AllOf",

@@ -4,9 +4,17 @@ The engine owns the simulation clock and the time-ordered event queue.  It is
 deliberately tiny: everything else (resources, protocols, machines) is built
 from :class:`~repro.sim.events.Event` and :class:`~repro.sim.process.Process`.
 
-Determinism: ties at the same timestamp are broken by scheduling order, so a
-simulation is a pure function of its inputs (plus any explicitly seeded RNG
-the caller passes into models).
+Determinism contract: a run is a **pure function of (inputs, scheduler)**.
+Ties at the same timestamp are broken by the engine's tie-break scheduler —
+``None`` (the default, scheduling order; byte-identical to the historical
+behaviour) or any :class:`~repro.sim.scheduler.Scheduler` — so replaying the
+same program under the same scheduler state reproduces every event order,
+every timing, and every buffer byte.  Any randomness a model needs must come
+from an explicitly seeded RNG the caller passes in; there is no wall-clock
+or global RNG anywhere in a simulated code path.  Alternative schedulers
+(seeded shuffles, DFS replay) explore *other* legal interleavings of
+simultaneously-ready events — that is the schedule-exploration verification
+harness's lever (:mod:`repro.verify`).
 """
 
 from __future__ import annotations
@@ -14,24 +22,47 @@ from __future__ import annotations
 import heapq
 import itertools
 import typing
+import weakref
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.scheduler import Scheduler
+
 __all__ = ["Engine"]
 
 
 class Engine:
-    """Event queue + clock for one simulation run."""
+    """Event queue + clock for one simulation run.
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    ``scheduler`` selects the tie-break policy for same-timestamp events.
+    With the default ``None`` the engine keeps its allocation-free fast
+    lanes and processes ties in scheduling order; with a
+    :class:`~repro.sim.scheduler.Scheduler` instance every same-timestamp
+    batch is routed through ``scheduler.order`` before processing.
+    """
+
+    def __init__(self, start_time: float = 0.0, scheduler: "Scheduler | None" = None) -> None:
         self._now = float(start_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._active_process: Process | None = None
         #: Number of events processed; useful for budget checks in tests.
         self.events_processed = 0
+        #: Tie-break policy for same-timestamp batches (None = FIFO fast path).
+        self.scheduler = scheduler
+        #: Invariant-checker hooks (:class:`repro.verify.invariants.Verifier`)
+        #: consulted by the substrate layers; ``None`` disables all checks.
+        self.verifier: typing.Any = None
+        #: Fault-injection plan (:class:`repro.verify.faults.FaultPlan`)
+        #: consulted by the substrate layers; ``None`` disables all faults.
+        self.faults: typing.Any = None
+        # Weak registry of every process started on this engine, kept so a
+        # deadlock can name who is still blocked and on what.
+        self._processes: list[weakref.ref] = []
+        self._process_prune_at = 64
 
     # -- clock -----------------------------------------------------------
 
@@ -58,6 +89,44 @@ class Engine:
     def process(self, generator: ProcessGenerator, name: str | None = None) -> Process:
         """Start a new process running ``generator``."""
         return Process(self, generator, name=name)
+
+    # -- process registry (deadlock diagnostics) --------------------------
+
+    def _register_process(self, process: Process) -> None:
+        """Track ``process`` weakly so deadlocks can name the blocked."""
+        refs = self._processes
+        refs.append(weakref.ref(process))
+        if len(refs) >= self._process_prune_at:
+            refs[:] = [ref for ref in refs if (p := ref()) is not None and p.is_alive]
+            self._process_prune_at = max(64, 2 * len(refs))
+
+    def blocked_processes(self) -> list[Process]:
+        """Every started process that has not finished, in creation order."""
+        out = []
+        for ref in self._processes:
+            process = ref()
+            if process is not None and process.is_alive:
+                out.append(process)
+        return out
+
+    def _deadlock(self, reason: str) -> DeadlockError:
+        """Build a :class:`DeadlockError` naming every blocked process."""
+        blocked = self.blocked_processes()
+        if not blocked:
+            return DeadlockError(reason)
+        shown = blocked[:16]
+        lines = []
+        for process in shown:
+            target = process.waiting_on
+            waiting = repr(target) if target is not None else "(not yet resumed)"
+            lines.append(f"  {process.name or '<anonymous>'} blocked on {waiting}")
+        more = len(blocked) - len(shown)
+        if more:
+            lines.append(f"  ... and {more} more")
+        detail = "\n".join(lines)
+        return DeadlockError(
+            f"{reason}; {len(blocked)} process(es) blocked forever:\n{detail}"
+        )
 
     def all_of(self, events: typing.Iterable[Event]) -> AllOf:
         """Event firing when all of ``events`` have succeeded."""
@@ -95,7 +164,7 @@ class Engine:
     def step(self) -> None:
         """Process the single next event in the queue."""
         if not self._queue:
-            raise DeadlockError("event queue is empty")
+            raise self._deadlock("event queue is empty")
         when, _seq, event = heapq.heappop(self._queue)
         if when < self._now:
             raise SimulationError("event queue went backwards in time")
@@ -153,6 +222,8 @@ class Engine:
         """
         if isinstance(until, Event):
             return self._run_until_processed(until)
+        if self.scheduler is not None:
+            return self._run_scheduled(None if until is None else float(until))
         queue = self._queue
         pop = heapq.heappop
         fire = self._fire_inline
@@ -178,17 +249,54 @@ class Engine:
         self._now = deadline
         return None
 
+    def _run_scheduled(self, deadline: float | None) -> None:
+        """``run()`` / ``run(until=<time>)`` with a tie-break scheduler.
+
+        Semantically identical to the fast loops in :meth:`run` except that
+        every same-timestamp batch is handed to the scheduler for ordering
+        before processing.  Events a callback schedules at the current time
+        carry a later sequence number and land in a later batch, exactly as
+        in the default loops.
+        """
+        if deadline is not None and deadline < self._now:
+            raise SimulationError(f"run(until={deadline!r}) is in the past")
+        queue = self._queue
+        pop = heapq.heappop
+        scheduler = self.scheduler
+        while queue and (deadline is None or queue[0][0] <= deadline):
+            when = queue[0][0]
+            if when < self._now:
+                raise SimulationError("event queue went backwards in time")
+            self._now = when
+            batch = [pop(queue)]
+            while queue and queue[0][0] == when:
+                batch.append(pop(queue))
+            if len(batch) > 1:
+                batch = scheduler.order(batch)
+            index = 0
+            try:
+                while index < len(batch):
+                    event = batch[index][2]
+                    index += 1
+                    self.events_processed += 1
+                    self._fire_inline(event)
+            finally:
+                for entry in batch[index:]:
+                    heapq.heappush(queue, entry)
+        if deadline is not None:
+            self._now = deadline
+
     def _run_until_processed(self, stop_event: Event) -> typing.Any:
         """``run(until=<event>)``: the launch hot loop, batched."""
         stop_event.defuse()
         queue = self._queue
         pop = heapq.heappop
+        scheduler = self.scheduler
         batch: list[tuple[float, int, Event]] = []
         while not stop_event._processed:
             if not queue:
-                raise DeadlockError(
-                    f"event queue drained before {stop_event!r} fired; "
-                    "a process is blocked forever"
+                raise self._deadlock(
+                    f"event queue drained before {stop_event!r} fired"
                 )
             head = pop(queue)
             when = head[0]
@@ -198,6 +306,8 @@ class Engine:
             batch.append(head)
             while queue and queue[0][0] == when:
                 batch.append(pop(queue))
+            if scheduler is not None and len(batch) > 1:
+                batch = scheduler.order(batch)
             index = 0
             processed = 0
             try:

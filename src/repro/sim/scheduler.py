@@ -1,0 +1,153 @@
+"""Pluggable tie-break schedulers for the discrete-event engine.
+
+The engine orders its queue by ``(time, sequence)``: ties at one timestamp
+fire in scheduling order.  That makes every run reproducible — but it also
+means the simulator only ever executes **one** interleaving of events that
+are *simultaneously ready*, while the protocols it runs (per-process READY
+flags, two-buffer pipelining, LAPI counter fences) are supposed to be
+correct under *any* interleaving.
+
+A :class:`Scheduler` makes the tie-break policy explicit and swappable:
+
+* :class:`FifoScheduler` — the identity policy; byte-identical to passing
+  no scheduler at all (the engine's fast paths stay engaged when the
+  scheduler is ``None``, so ``None`` remains the production default).
+* :class:`RandomScheduler` — a seeded shuffle of every same-timestamp
+  batch; each seed is one alternative schedule.
+* :class:`ReplayScheduler` — a controlled scheduler driven by an explicit
+  *choice sequence*: at each decision point (a batch with more than one
+  event) choice ``c`` moves the ``c``-th event to the front.  The bounded
+  DFS explorer in :mod:`repro.verify.explorer` enumerates choice prefixes
+  to walk the schedule tree systematically (DPOR-lite: first-event races
+  only, arity capped by ``max_branch``).
+
+Every scheduler records a **trace** of the reorderings it applied (only for
+batches with >1 event), so two runs can be compared by
+:meth:`Scheduler.signature` — the explorer uses this to count *distinct*
+schedules rather than mere repetitions.
+
+A simulation remains a pure function of ``(inputs, scheduler)``: the same
+program under the same scheduler state produces the same event order, the
+same timings, and the same buffer contents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.events import Event
+
+__all__ = ["Scheduler", "FifoScheduler", "RandomScheduler", "ReplayScheduler"]
+
+#: One queue entry: ``(time, sequence, event)`` exactly as stored in the heap.
+Entry = typing.Tuple[float, int, "Event"]
+
+
+class Scheduler:
+    """Base tie-break policy: FIFO order, with trace recording.
+
+    Subclasses override :meth:`permute`, which receives a same-timestamp
+    batch (always ``len(batch) >= 2``) in FIFO order and returns the order
+    to process it in.  The returned list must be a permutation of the input.
+    """
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        #: Per-decision-point record: the tuple of event sequence numbers in
+        #: the order they were actually processed.
+        self.trace: list[tuple[int, ...]] = []
+
+    def reset(self) -> None:
+        """Clear recorded state before a fresh run."""
+        self.trace = []
+
+    def permute(self, batch: list[Entry]) -> list[Entry]:
+        """Return the processing order for one same-timestamp batch."""
+        return batch
+
+    def order(self, batch: list[Entry]) -> list[Entry]:
+        """Engine entry point: permute ``batch`` and record the outcome."""
+        ordered = self.permute(batch)
+        self.trace.append(tuple(entry[1] for entry in ordered))
+        return ordered
+
+    def signature(self) -> str:
+        """A stable digest of the orderings this run actually executed."""
+        digest = hashlib.blake2b(digest_size=12)
+        for decision in self.trace:
+            digest.update(repr(decision).encode())
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} decisions={len(self.trace)}>"
+
+
+class FifoScheduler(Scheduler):
+    """Explicit identity tie-break — the engine's default order."""
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniform shuffle of every same-timestamp batch."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed)
+
+    def permute(self, batch: list[Entry]) -> list[Entry]:
+        shuffled = list(batch)
+        self._rng.shuffle(shuffled)
+        return shuffled
+
+
+class ReplayScheduler(Scheduler):
+    """Follow an explicit choice sequence through the schedule tree.
+
+    At decision point ``d`` (the ``d``-th batch with more than one event),
+    choice ``c`` moves the batch's ``c``-th entry to the front and keeps the
+    rest in FIFO order; past the end of ``choices`` the scheduler picks 0
+    (FIFO).  After a run, :attr:`taken` holds the choices actually made and
+    :attr:`arities` the number of alternatives available at each point
+    (capped at ``max_branch``), which is everything a DFS needs to expand
+    unexplored siblings.
+    """
+
+    name = "dfs"
+
+    def __init__(self, choices: typing.Sequence[int] = (), max_branch: int = 4) -> None:
+        super().__init__()
+        if max_branch < 1:
+            raise ValueError(f"max_branch must be >= 1, got {max_branch}")
+        self.choices = tuple(int(c) for c in choices)
+        self.max_branch = int(max_branch)
+        self.taken: list[int] = []
+        self.arities: list[int] = []
+
+    def reset(self) -> None:
+        super().reset()
+        self.taken = []
+        self.arities = []
+
+    def permute(self, batch: list[Entry]) -> list[Entry]:
+        depth = len(self.taken)
+        arity = min(len(batch), self.max_branch)
+        choice = self.choices[depth] if depth < len(self.choices) else 0
+        if not 0 <= choice < arity:
+            raise ValueError(
+                f"choice {choice} at decision {depth} out of range 0..{arity - 1}"
+            )
+        self.taken.append(choice)
+        self.arities.append(arity)
+        if choice == 0:
+            return batch
+        return [batch[choice]] + batch[:choice] + batch[choice + 1 :]

@@ -1,0 +1,143 @@
+"""Schedule exploration drivers.
+
+Both drivers perturb only the engine's **same-timestamp tie-break order**
+(:mod:`repro.sim.scheduler`), so every explored execution is a legal timing
+of the same protocol — what changes is which of the simultaneously-ready
+events fires first, exactly the nondeterminism a real SMP exhibits.
+
+* **random** — seeded-random tie-breaks (:class:`~repro.sim.scheduler.
+  RandomScheduler`), one seed per attempt, deduplicated by schedule
+  signature with bounded top-up until the distinct-schedule target is met;
+* **dfs** — bounded systematic enumeration (DPOR-lite): replay a chosen
+  prefix of tie-break decisions (:class:`~repro.sim.scheduler.
+  ReplayScheduler`), observe the branching arity each execution actually
+  had, and push every unexplored sibling choice as a new prefix.  Bounding
+  the decision depth and branch fan-out keeps the tree finite; within those
+  bounds the enumeration is exhaustive.
+
+A driver receives ``run_one(scheduler, variant_seed)`` — a closure supplied
+by :mod:`repro.verify.runner` that executes one full collective under the
+given scheduler and returns a :class:`ScheduleOutcome`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import VerificationError
+from repro.sim.scheduler import RandomScheduler, ReplayScheduler, Scheduler
+
+__all__ = ["ScheduleOutcome", "explore_cell", "dfs_choice_sequences"]
+
+RunOne = typing.Callable[[Scheduler, int], "ScheduleOutcome"]
+
+
+@dataclasses.dataclass
+class ScheduleOutcome:
+    """Result of running one collective under one explored schedule."""
+
+    explorer: str
+    signature: str
+    digest: str
+    elapsed: float
+    violations: list[dict]
+    error: str | None = None
+    injected: dict | None = None
+
+    @property
+    def clean(self) -> bool:
+        """True when the schedule ran to completion with no violations."""
+        return self.error is None and not self.violations
+
+    def as_dict(self) -> dict[str, typing.Any]:
+        return {
+            "explorer": self.explorer,
+            "signature": self.signature,
+            "digest": self.digest,
+            "elapsed": self.elapsed,
+            "violations": self.violations,
+            "error": self.error,
+            "injected": self.injected or {},
+        }
+
+
+def explore_cell(
+    run_one: RunOne,
+    explorer: str = "random",
+    schedules: int = 50,
+    seed: int = 0,
+    max_branch: int = 4,
+    dfs_depth: int = 8,
+    topup_factor: int = 4,
+) -> list[ScheduleOutcome]:
+    """Explore one grid cell; returns one outcome per **distinct** schedule.
+
+    ``schedules`` is the distinct-schedule target.  The random driver runs
+    up to ``topup_factor × schedules`` attempts to reach it (tiny configs may
+    genuinely have fewer reachable schedules than the target — the caller
+    sees however many exist).  The DFS driver stops at ``schedules`` distinct
+    executions or when the bounded tree is exhausted, whichever comes first.
+    """
+    if explorer == "random":
+        return _explore_random(run_one, schedules, seed, topup_factor)
+    if explorer == "dfs":
+        return dfs_choice_sequences(run_one, schedules, max_branch, dfs_depth)
+    raise VerificationError(f"unknown explorer {explorer!r} (expected 'random' or 'dfs')")
+
+
+def _explore_random(
+    run_one: RunOne, schedules: int, seed: int, topup_factor: int
+) -> list[ScheduleOutcome]:
+    outcomes: list[ScheduleOutcome] = []
+    seen: set[str] = set()
+    attempts = max(1, schedules * max(1, topup_factor))
+    for attempt in range(attempts):
+        variant = seed + attempt
+        outcome = run_one(RandomScheduler(seed=variant), variant)
+        if outcome.signature not in seen:
+            seen.add(outcome.signature)
+            outcomes.append(outcome)
+            if len(outcomes) >= schedules:
+                break
+    return outcomes
+
+
+def dfs_choice_sequences(
+    run_one: RunOne,
+    schedules: int,
+    max_branch: int = 4,
+    max_depth: int = 8,
+) -> list[ScheduleOutcome]:
+    """Bounded-DFS enumeration over tie-break choice prefixes.
+
+    Classic stateless-search loop: run a prefix (unspecified decisions
+    default to choice 0), read back the decision arities the execution
+    actually exposed, and push each unexplored sibling ``prefix[:d] + (c,)``
+    for ``d < max_depth`` and ``1 <= c < arity(d)``.  Prefixes are explored
+    LIFO (depth-first) and deduplicated by full-trace signature, since two
+    prefixes can induce the same execution once the defaulted suffix is
+    accounted for.
+    """
+    outcomes: list[ScheduleOutcome] = []
+    seen: set[str] = set()
+    explored_prefixes: set[tuple[int, ...]] = set()
+    stack: list[tuple[int, ...]] = [()]
+    while stack and len(outcomes) < schedules:
+        prefix = stack.pop()
+        if prefix in explored_prefixes:
+            continue
+        explored_prefixes.add(prefix)
+        scheduler = ReplayScheduler(prefix, max_branch=max_branch)
+        outcome = run_one(scheduler, 0)
+        if outcome.signature not in seen:
+            seen.add(outcome.signature)
+            outcomes.append(outcome)
+        depth_limit = min(len(scheduler.arities), max_depth)
+        # Push siblings deepest-first so pops stay depth-first.
+        for depth in range(len(prefix), depth_limit):
+            for choice in range(1, scheduler.arities[depth]):
+                sibling = tuple(scheduler.taken[:depth]) + (choice,)
+                if sibling not in explored_prefixes:
+                    stack.append(sibling)
+    return outcomes

@@ -1,0 +1,97 @@
+"""Deterministic fault injection for schedule exploration.
+
+A :class:`FaultPlan` attaches to an engine (``engine.faults = FaultPlan(...)``)
+and perturbs *timing*, never *data*: every fault models a legal hardware or
+OS behaviour the paper's protocols must tolerate —
+
+* **put-delay jitter** (§2.3): the LAPI dispatcher delivers a put late, as
+  when the completion handler runs behind other traffic;
+* **reordered flag wakeups** (§2.4): after a flag store, satisfied spinners
+  resume in an arbitrary order — the SMP hardware does not promise FIFO;
+* **master stalls** (§4, "processor late arrivals and delays"): a node
+  master enters the collective late, as when a daemon preempted it.
+
+Faults are driven by a private seeded :class:`random.Random`, so a
+``(plan seed, scheduler)`` pair replays exactly.  Like the verifier hooks,
+every injection site is a single ``is None`` test when no plan is attached.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+__all__ = ["FaultPlan"]
+
+
+class FaultPlan:
+    """Seeded timing perturbations injected into the substrates.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the private RNG; two plans with equal parameters and seed
+        inject identical faults.
+    put_jitter_probability / put_jitter_max:
+        Each LAPI put delivery is delayed by ``U(0, put_jitter_max)`` seconds
+        with the given probability.
+    reorder_probability:
+        Each flag store shuffles the wakeup order of its satisfied waiters
+        with the given probability.
+    master_stall_probability / master_stall_max:
+        Each rank's program start is delayed by ``U(0, master_stall_max)``
+        seconds with the given probability (node masters and workers alike —
+        a late master is simply the most damaging case).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        put_jitter_probability: float = 0.25,
+        put_jitter_max: float = 5e-6,
+        reorder_probability: float = 0.25,
+        master_stall_probability: float = 0.25,
+        master_stall_max: float = 20e-6,
+    ) -> None:
+        self.seed = int(seed)
+        self.put_jitter_probability = float(put_jitter_probability)
+        self.put_jitter_max = float(put_jitter_max)
+        self.reorder_probability = float(reorder_probability)
+        self.master_stall_probability = float(master_stall_probability)
+        self.master_stall_max = float(master_stall_max)
+        self.rng = random.Random(self.seed)
+        #: Injection counts, keyed by fault family (reported per schedule).
+        self.injected: dict[str, int] = {"put_jitter": 0, "wakeup_reorder": 0, "master_stall": 0}
+
+    def reset(self) -> None:
+        """Rewind the RNG and the injection counters for a fresh run."""
+        self.rng = random.Random(self.seed)
+        self.injected = {"put_jitter": 0, "wakeup_reorder": 0, "master_stall": 0}
+
+    # -- injection sites -------------------------------------------------------
+
+    def put_jitter(self) -> float:
+        """Delay (seconds, possibly 0) to add to one put delivery."""
+        if self.put_jitter_max <= 0.0 or self.rng.random() >= self.put_jitter_probability:
+            return 0.0
+        self.injected["put_jitter"] += 1
+        return self.rng.uniform(0.0, self.put_jitter_max)
+
+    def reorder_wakeups(self, waiters: list) -> list:
+        """Possibly-shuffled copy of a flag's waiter list (never mutates)."""
+        if len(waiters) < 2 or self.rng.random() >= self.reorder_probability:
+            return waiters
+        self.injected["wakeup_reorder"] += 1
+        shuffled = list(waiters)
+        self.rng.shuffle(shuffled)
+        return shuffled
+
+    def master_stall(self) -> float:
+        """Delay (seconds, possibly 0) before one rank enters the collective."""
+        if self.master_stall_max <= 0.0 or self.rng.random() >= self.master_stall_probability:
+            return 0.0
+        self.injected["master_stall"] += 1
+        return self.rng.uniform(0.0, self.master_stall_max)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan seed={self.seed} injected={self.injected}>"

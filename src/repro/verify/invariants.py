@@ -1,0 +1,251 @@
+"""Runtime protocol invariant checkers for the SRM synchronization layers.
+
+A :class:`Verifier` attaches to an engine (``engine.verifier = Verifier()``)
+and receives callbacks from the shared-memory and LAPI substrates at every
+synchronization-relevant state change.  The hook sites are pre-wired in
+:mod:`repro.shmem.flags`, :mod:`repro.shmem.buffers` and
+:mod:`repro.lapi.counters`; each is a single ``is None`` attribute test when
+no verifier is attached, so the default simulation path stays byte-identical.
+
+The invariants encode the paper's hand-reasoned safety arguments:
+
+==============================  ============================================
+rule                            paper argument it mechanizes
+==============================  ============================================
+``flag-double-set``             READY/check-in flags are 0/1 handshakes with
+``flag-redundant-clear``        one writer per phase (§2.2, Fig. 3): setting
+                                an already-set flag means a buffer was
+                                announced while a reader still held it;
+                                clearing a clear flag means a reader drained
+                                a slot it never owned.
+``flag-nonbinary``              a READY/check-in flag only ever holds 0 or 1.
+``sequence-decrease``           cumulative chunk-sequence flags are monotone
+                                non-decreasing (the tree-relay and reduce
+                                pipelines count chunks, never rewind).
+``counter-decrease``            LAPI counters only move backwards through
+                                explicit ``Setcntr``/``Waitcntr`` consume;
+                                an increment may never lower the value.
+``counter-reset-under-waiters``  resetting a counter below threshold while
+                                processes wait on it can strand them (the
+                                Fig. 4 flow control never does this).
+``counter-over-consume``        ``Waitcntr`` consuming more than the counter
+                                holds would drive it negative.
+``buffer-overwrite-in-use``     the root may refill a pipeline buffer only
+                                once every READY flag for it is clear (§2.2:
+                                "check/wait on all the flags ... make sure
+                                the buffer is free for reuse").
+``read-before-ready``           a reader may copy a buffer out only after its
+                                own READY flag was set for that slot.
+==============================  ============================================
+
+Violations are recorded (and optionally raised, ``strict=True``) with the
+simulated timestamp, the subject's name, and a human-readable description.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import VerificationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.lapi.counters import LapiCounter
+    from repro.shmem.buffers import DoubleBuffer
+    from repro.shmem.flags import SharedFlag
+
+__all__ = ["Violation", "Verifier"]
+
+#: Flag kinds that follow the binary READY/check-in handshake discipline.
+_HANDSHAKE_KINDS = frozenset({"ready", "checkin"})
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One observed invariant violation."""
+
+    rule: str
+    subject: str
+    time: float
+    detail: str
+
+    def as_dict(self) -> dict[str, typing.Any]:
+        """JSON-ready representation (used by the verify report)."""
+        return {
+            "rule": self.rule,
+            "subject": self.subject,
+            "time": self.time,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject} @t={self.time:.6g}: {self.detail}"
+
+
+class Verifier:
+    """Collects (or raises on) protocol invariant violations.
+
+    Parameters
+    ----------
+    strict:
+        When true, the first violation raises :class:`VerificationError`
+        at the exact simulated moment it occurs — useful in unit tests to
+        get a traceback through the offending protocol code.
+    max_violations:
+        Recording cap; once reached further violations are counted in
+        :attr:`dropped` but not stored (a badly mutated protocol can
+        otherwise produce one violation per chunk per rank).
+    counter:
+        Optional metrics counter (``.inc()``-able, e.g. from
+        :class:`repro.obs.metrics.MetricsRegistry`) bumped per violation.
+    """
+
+    def __init__(
+        self,
+        strict: bool = False,
+        max_violations: int = 1000,
+        counter: typing.Any = None,
+    ) -> None:
+        self.strict = strict
+        self.max_violations = int(max_violations)
+        self.counter = counter
+        self.violations: list[Violation] = []
+        self.dropped = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear recorded violations (the attached counter is not rewound)."""
+        self.violations = []
+        self.dropped = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no violation has been observed."""
+        return not self.violations and not self.dropped
+
+    def _record(self, rule: str, subject: typing.Any, detail: str) -> None:
+        violation = Violation(
+            rule=rule,
+            subject=getattr(subject, "name", None) or repr(subject),
+            time=float(subject.engine.now),
+            detail=detail,
+        )
+        if self.counter is not None:
+            self.counter.inc()
+        if len(self.violations) >= self.max_violations:
+            self.dropped += 1
+        else:
+            self.violations.append(violation)
+        if self.strict:
+            raise VerificationError(str(violation))
+
+    # -- shared-memory flag hooks ---------------------------------------------
+
+    def on_flag_store(
+        self,
+        flag: "SharedFlag",
+        old: int,
+        new: int,
+        writer_rank: int | None,
+    ) -> None:
+        """Called by :meth:`SharedFlag.store` before the value changes."""
+        kind = flag.kind
+        if kind is None:
+            return
+        writer = f"rank {writer_rank}" if writer_rank is not None else "an untimed store"
+        if kind in _HANDSHAKE_KINDS:
+            if new not in (0, 1):
+                self._record(
+                    "flag-nonbinary",
+                    flag,
+                    f"{writer} stored {new} into a {kind} handshake flag",
+                )
+            elif old == 1 and new == 1:
+                self._record(
+                    "flag-double-set",
+                    flag,
+                    f"{writer} set a {kind} flag that was already set — the "
+                    f"guarded buffer is still held by its reader",
+                )
+            elif old == 0 and new == 0:
+                self._record(
+                    "flag-redundant-clear",
+                    flag,
+                    f"{writer} cleared a {kind} flag that was already clear — "
+                    f"a drain finished on a slot it never owned",
+                )
+        elif kind == "sequence":
+            if new < old:
+                self._record(
+                    "sequence-decrease",
+                    flag,
+                    f"{writer} rewound a cumulative sequence flag {old} -> {new}",
+                )
+
+    # -- LAPI counter hooks ----------------------------------------------------
+
+    def on_counter_increment(self, counter: "LapiCounter", old: int, new: int) -> None:
+        """Called by :meth:`LapiCounter.increment` before the update."""
+        if new <= old:
+            self._record(
+                "counter-decrease",
+                counter,
+                f"increment moved the counter {old} -> {new}",
+            )
+
+    def on_counter_set(
+        self, counter: "LapiCounter", old: int, new: int, waiters: int
+    ) -> None:
+        """Called by :meth:`LapiCounter.set` before the overwrite."""
+        if new < old and waiters > 0:
+            self._record(
+                "counter-reset-under-waiters",
+                counter,
+                f"Setcntr lowered the value {old} -> {new} while {waiters} "
+                f"waiter(s) were blocked on it",
+            )
+
+    def on_counter_consume(self, counter: "LapiCounter", value: int, amount: int) -> None:
+        """Called by :meth:`LapiCounter.consume` before the subtraction."""
+        if amount > value:
+            self._record(
+                "counter-over-consume",
+                counter,
+                f"Waitcntr consumed {amount} from a counter holding {value}",
+            )
+
+    # -- pipeline buffer hooks --------------------------------------------------
+
+    def on_buffer_fill(
+        self, dbuf: "DoubleBuffer", slot: int, writer_index: int | None
+    ) -> None:
+        """Called by :meth:`DoubleBuffer.check_fill` just before a (re)fill."""
+        held = [
+            index
+            for index, flag in enumerate(dbuf.flags(slot).flags)
+            if index != writer_index and flag.value != 0
+        ]
+        if held:
+            self._record(
+                "buffer-overwrite-in-use",
+                dbuf,
+                f"slot {slot} refilled while reader index(es) {held} still "
+                f"hold READY — in-flight data would be clobbered",
+            )
+
+    def on_buffer_drain(self, dbuf: "DoubleBuffer", slot: int, reader_index: int) -> None:
+        """Called by :meth:`DoubleBuffer.check_drain` just before a copy-out."""
+        if dbuf.flags(slot)[reader_index].value != 1:
+            self._record(
+                "read-before-ready",
+                dbuf,
+                f"reader index {reader_index} drained slot {slot} while its "
+                f"READY flag was clear — read-before-ready",
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Verifier violations={len(self.violations)} dropped={self.dropped} "
+            f"strict={self.strict}>"
+        )

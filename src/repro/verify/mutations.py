@@ -1,0 +1,102 @@
+"""Mutation smoke: prove the detectors detect.
+
+A verification harness that never fires is indistinguishable from one that
+works.  Each mutation here re-introduces a classic synchronization bug into
+the *live* protocol code (by patching a substrate class method for the
+duration of a ``with`` block) and the smoke runner then asserts the harness
+reports it:
+
+* ``skip-ready-wait`` — a reader copies a pipeline buffer out **without**
+  waiting for its READY flag (dropping the ``while !flag`` spin of Fig. 3).
+  Detected by the ``read-before-ready`` buffer invariant (and usually a
+  trailing ``flag-redundant-clear``).
+* ``skip-ready-set`` — the buffer owner forgets to set one reader's READY
+  flag (an off-by-one in the "set the flags of all other processes" loop of
+  §2.2).  That reader spins forever: detected as a deadlock, with the
+  blocked process named in the :class:`~repro.errors.DeadlockError`.
+
+Patches target the **class methods** (``SharedFlag.wait_value``,
+``FlagArray.set_all``) rather than module globals, so every call site —
+including ``from ... import``-ed aliases — sees the mutant.  Both mutants
+fire only on ``kind == "ready"`` flags, leaving barrier check-in and
+sequence flags honest.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing
+
+from repro.errors import VerificationError
+from repro.obs.taxonomy import FLAG_SET
+from repro.shmem.flags import FlagArray, SharedFlag
+
+__all__ = ["MUTATIONS", "apply_mutation"]
+
+
+@contextlib.contextmanager
+def _skip_ready_wait() -> typing.Iterator[None]:
+    original = SharedFlag.wait_value
+
+    def mutated(self: SharedFlag, task: typing.Any, value: int) -> typing.Any:
+        if self.kind == "ready" and value == 1:
+            # The bug: proceed straight to the copy, never spin.
+            return self._value
+            yield  # pragma: no cover - keeps this a generator function
+        result = yield from original(self, task, value)
+        return result
+
+    SharedFlag.wait_value = mutated  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        SharedFlag.wait_value = original  # type: ignore[method-assign]
+
+
+@contextlib.contextmanager
+def _skip_ready_set() -> typing.Iterator[None]:
+    original = FlagArray.set_all
+
+    def mutated(
+        self: FlagArray, task: typing.Any, value: int, skip: int | None = None
+    ) -> typing.Any:
+        indices = [i for i in range(len(self.flags)) if i != skip]
+        if self.kind == "ready" and value == 1 and indices:
+            # The bug: the last reader's READY flag is never set.
+            indices = indices[:-1]
+        with task.phase(FLAG_SET):
+            yield task.engine.timeout(self.cost.flag_set_cost * max(len(indices), 1))
+        self.node.machine.obs.flag_sets.inc(len(indices))
+        for index in indices:
+            self.flags[index].store(value, writer_rank=task.rank)
+
+    FlagArray.set_all = mutated  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        FlagArray.set_all = original  # type: ignore[method-assign]
+
+
+#: name -> (expected detection, context-manager factory)
+MUTATIONS: dict[str, tuple[str, typing.Callable[[], typing.ContextManager[None]]]] = {
+    "skip-ready-wait": (
+        "reader drains the shared buffer without waiting for READY "
+        "(expect read-before-ready violations)",
+        _skip_ready_wait,
+    ),
+    "skip-ready-set": (
+        "owner forgets one reader's READY flag "
+        "(expect a deadlock naming the starved rank)",
+        _skip_ready_set,
+    ),
+}
+
+
+def apply_mutation(name: str) -> typing.ContextManager[None]:
+    """Context manager installing mutation ``name`` for the block's duration."""
+    try:
+        return MUTATIONS[name][1]()
+    except KeyError:
+        raise VerificationError(
+            f"unknown mutation {name!r} (known: {sorted(MUTATIONS)})"
+        ) from None

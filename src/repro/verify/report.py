@@ -1,0 +1,95 @@
+"""Schema-versioned JSON reports for ``python -m repro verify``.
+
+The report wraps the body produced by :mod:`repro.verify.runner` with the
+same envelope conventions the benchmark snapshots use: a schema name, a
+version, and sorted-key serialization so identical runs are byte-identical
+(report diffs then show real behaviour changes, never dict-order noise).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import typing
+
+from repro.errors import VerificationError
+
+__all__ = ["REPORT_SCHEMA", "SCHEMA_VERSION", "build_report", "write_report", "load_report"]
+
+#: Schema identifier stored in every report.
+REPORT_SCHEMA = "repro-verify-report"
+
+#: Bump on any incompatible change to the report layout.
+SCHEMA_VERSION = 1
+
+#: Top-level keys every report carries (the golden-report test pins these).
+ENVELOPE_KEYS = ("schema", "schema_version", "label", "body")
+
+#: Keys every ``verify``-mode body carries.
+VERIFY_BODY_KEYS = (
+    "mode",
+    "explorer",
+    "seed",
+    "faults",
+    "schedules_per_cell",
+    "cells",
+    "totals",
+    "ok",
+)
+
+#: Keys every cell entry carries.
+CELL_KEYS = (
+    "cell",
+    "nodes",
+    "procs",
+    "operation",
+    "regime",
+    "nbytes",
+    "explorer",
+    "reference_digest",
+    "reference_error",
+    "schedules_explored",
+    "distinct_signatures",
+    "errors",
+    "divergences",
+    "violations",
+    "violation_count",
+    "faults_injected",
+    "ok",
+)
+
+
+def build_report(body: dict[str, typing.Any], label: str = "head") -> dict[str, typing.Any]:
+    """Wrap a runner body in the versioned envelope."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "body": body,
+    }
+
+
+def write_report(path: str, report: dict[str, typing.Any]) -> None:
+    """Serialize ``report`` to ``path`` (``-`` = stdout), byte-stably."""
+    text = json.dumps(report, indent=1, sort_keys=True)
+    if path == "-":
+        sys.stdout.write(text + "\n")
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def load_report(path: str) -> dict[str, typing.Any]:
+    """Load and envelope-check a report written by :func:`write_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != REPORT_SCHEMA:
+        raise VerificationError(
+            f"{path}: schema {report.get('schema')!r} is not {REPORT_SCHEMA!r}"
+        )
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise VerificationError(
+            f"{path}: schema version {report.get('schema_version')!r} "
+            f"is not {SCHEMA_VERSION}"
+        )
+    return report

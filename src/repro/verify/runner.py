@@ -1,0 +1,415 @@
+"""End-to-end schedule-invariance verification of the SRM collectives.
+
+For every cell of a small-config grid (nodes × tasks-per-node × operation ×
+protocol regime), the runner:
+
+1. executes one **reference** run under the default deterministic scheduler
+   (``scheduler=None`` — the exact path every benchmark uses) and checks the
+   result against an analytically computed truth (NumPy);
+2. explores many **alternative schedules** (random or bounded-DFS tie-break
+   orders, optionally with timing faults injected) and requires that every
+   explored execution (a) trips no protocol invariant, (b) completes without
+   deadlock, and (c) produces a result digest identical to the reference —
+   the collective's outcome must be a pure function of its inputs, never of
+   the interleaving.
+
+Message sizes are chosen to land in each of the paper's three protocol
+regimes under the default :class:`~repro.core.config.SRMConfig` thresholds
+(small ≤ 8 KB, pipelined 8–64 KB, large > 64 KB).  Reductions use small
+integer-valued float64 data so every association order produces bit-equal
+sums (schedule invariance of the *digest* is then exact, not approximate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing
+
+import numpy as np
+
+from repro.core import SRM, SRMConfig
+from repro.errors import ReproError, VerificationError
+from repro.machine import ClusterSpec, CostModel, Machine
+from repro.mpi.ops import SUM
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.scheduler import Scheduler
+from repro.verify.explorer import ScheduleOutcome, explore_cell
+from repro.verify.faults import FaultPlan
+from repro.verify.invariants import Verifier
+from repro.verify.mutations import MUTATIONS, apply_mutation
+
+__all__ = [
+    "Cell",
+    "default_grid",
+    "quick_grid",
+    "run_cell",
+    "run_verify",
+    "run_mutation_smoke",
+]
+
+#: Operations covered by the verification grid (the paper's common set).
+VERIFY_OPERATIONS = ("broadcast", "reduce", "allreduce", "barrier")
+
+#: One representative size per protocol regime (see module docstring).
+REGIME_SIZES: dict[str, int] = {"small": 2048, "pipelined": 16384, "large": 81920}
+
+#: Calls per schedule — two back-to-back calls exercise the double-buffer
+#: alternation and the cross-call pipelining the paper's §2.2 describes.
+ITERATIONS = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One verification grid cell."""
+
+    nodes: int
+    procs: int
+    operation: str
+    regime: str
+    nbytes: int
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.operation}/n{self.nodes}xp{self.procs}/{self.regime}({self.nbytes}B)"
+
+
+def default_grid(
+    node_counts: typing.Sequence[int] = (2, 4),
+    proc_counts: typing.Sequence[int] = (2, 3),
+    operations: typing.Sequence[str] = VERIFY_OPERATIONS,
+    regimes: typing.Sequence[str] = ("small", "pipelined", "large"),
+) -> list[Cell]:
+    """The standard grid: 2–4 nodes × 2–4 procs × all ops × all regimes.
+
+    Barrier moves no data, so it contributes one cell per shape regardless
+    of the regime list.
+    """
+    cells: list[Cell] = []
+    for nodes in node_counts:
+        for procs in proc_counts:
+            for operation in operations:
+                if operation == "barrier":
+                    cells.append(Cell(nodes, procs, "barrier", "none", 0))
+                    continue
+                for regime in regimes:
+                    cells.append(Cell(nodes, procs, operation, regime, REGIME_SIZES[regime]))
+    return cells
+
+
+def quick_grid() -> list[Cell]:
+    """A minutes-not-hours subset for CI smoke and ``--quick``."""
+    return default_grid(node_counts=(2,), proc_counts=(2,), regimes=("small", "pipelined"))
+
+
+# ---------------------------------------------------------------------------
+# One run of one cell
+# ---------------------------------------------------------------------------
+
+
+def _expected_sum(total_tasks: int, count: int) -> np.ndarray:
+    """Analytic truth for sum-reductions of ``full(count, rank + 1)``."""
+    return np.full(count, float(total_tasks * (total_tasks + 1) // 2))
+
+
+def _digest(arrays: typing.Iterable[np.ndarray]) -> str:
+    hasher = hashlib.blake2b(digest_size=16)
+    for array in arrays:
+        hasher.update(np.ascontiguousarray(array).tobytes())
+    return hasher.hexdigest()
+
+
+def run_cell_once(
+    cell: Cell,
+    scheduler: Scheduler | None,
+    fault_plan: FaultPlan | None = None,
+    srm_config: SRMConfig | None = None,
+) -> ScheduleOutcome:
+    """Execute ``cell`` once under ``scheduler`` (+ optional faults).
+
+    Returns the outcome: the schedule signature, the result digest, every
+    invariant violation the attached :class:`Verifier` recorded, and — when
+    the run ended in a deadlock or protocol error — the error text.  A
+    ``result-mismatch`` pseudo-violation is appended when the final data
+    disagrees with the analytic truth.
+    """
+    spec = ClusterSpec(nodes=cell.nodes, tasks_per_node=cell.procs)
+    machine = Machine(spec, cost=CostModel.ibm_sp_colony(), seed=0, scheduler=scheduler)
+    verifier = Verifier()
+    machine.engine.verifier = verifier
+    if fault_plan is not None:
+        fault_plan.reset()
+        machine.engine.faults = fault_plan
+    srm = SRM(machine, config=srm_config)
+    total = spec.total_tasks
+    count = max(1, cell.nbytes // 8)
+
+    bcast_buffers = {r: np.zeros(max(1, cell.nbytes), dtype=np.uint8) for r in range(total)}
+    bcast_buffers[0][:] = 7
+    sources = {r: np.full(count, float(r + 1)) for r in range(total)}
+    destinations = {r: np.zeros(count) for r in range(total)}
+    reduce_dst = np.zeros(count)
+
+    def body(task) -> typing.Any:
+        if cell.operation == "broadcast":
+            yield from srm.broadcast(task, bcast_buffers[task.rank], root=0)
+        elif cell.operation == "reduce":
+            dst = reduce_dst if task.rank == 0 else None
+            yield from srm.reduce(task, sources[task.rank], dst, SUM, root=0)
+        elif cell.operation == "allreduce":
+            yield from srm.allreduce(task, sources[task.rank], destinations[task.rank], SUM)
+        elif cell.operation == "barrier":
+            yield from srm.barrier(task)
+        else:
+            raise VerificationError(f"unknown operation {cell.operation!r}")
+
+    def program(task) -> typing.Any:
+        if fault_plan is not None:
+            stall = fault_plan.master_stall()
+            if stall > 0.0:
+                yield machine.engine.timeout(stall)
+        for _ in range(ITERATIONS):
+            yield from body(task)
+
+    error: str | None = None
+    start = machine.engine.now
+    try:
+        machine.launch(program)
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    except RecursionError as exc:  # pragma: no cover - mutant safety net
+        error = f"RecursionError: {exc}"
+    elapsed = machine.engine.now - start
+
+    violations = [violation.as_dict() for violation in verifier.violations]
+    if verifier.dropped:
+        violations.append(
+            {
+                "rule": "violations-truncated",
+                "subject": "verifier",
+                "time": elapsed,
+                "detail": f"{verifier.dropped} further violation(s) not recorded",
+            }
+        )
+    digest = ""
+    if error is None:
+        if cell.operation == "broadcast":
+            results = [bcast_buffers[r] for r in range(total)]
+            truth_ok = all(np.all(buf == 7) for buf in results)
+        elif cell.operation == "reduce":
+            results = [reduce_dst]
+            truth_ok = bool(np.array_equal(reduce_dst, _expected_sum(total, count)))
+        elif cell.operation == "allreduce":
+            expected = _expected_sum(total, count)
+            results = [destinations[r] for r in range(total)]
+            truth_ok = all(np.array_equal(dst, expected) for dst in results)
+        else:  # barrier: completion is the result
+            results = []
+            truth_ok = True
+        digest = _digest(results)
+        if not truth_ok:
+            violations.append(
+                {
+                    "rule": "result-mismatch",
+                    "subject": cell.cell_id,
+                    "time": elapsed,
+                    "detail": "final data disagrees with the analytic truth",
+                }
+            )
+    signature = scheduler.signature() if scheduler is not None else "default"
+    return ScheduleOutcome(
+        explorer=scheduler.name if scheduler is not None else "default",
+        signature=signature,
+        digest=digest,
+        elapsed=elapsed,
+        violations=violations,
+        error=error,
+        injected=dict(fault_plan.injected) if fault_plan is not None else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cell-level exploration + invariance check
+# ---------------------------------------------------------------------------
+
+
+def run_cell(
+    cell: Cell,
+    schedules: int = 56,
+    explorer: str = "random",
+    seed: int = 0,
+    faults: bool = True,
+    srm_config: SRMConfig | None = None,
+) -> dict[str, typing.Any]:
+    """Verify one cell; returns its JSON-ready report entry.
+
+    The reference run (default scheduler, no faults) anchors the expected
+    digest; every explored schedule must be clean and digest-equal.
+    """
+    reference = run_cell_once(cell, scheduler=None, srm_config=srm_config)
+
+    def run_one(scheduler: Scheduler, variant_seed: int) -> ScheduleOutcome:
+        plan = FaultPlan(seed=seed * 100003 + variant_seed) if faults else None
+        return run_cell_once(cell, scheduler, fault_plan=plan, srm_config=srm_config)
+
+    outcomes = explore_cell(run_one, explorer=explorer, schedules=schedules, seed=seed)
+
+    divergences = 0
+    errors = 0
+    violations: list[dict] = list(reference.violations)
+    for outcome in outcomes:
+        violations.extend(outcome.violations)
+        if outcome.error is not None:
+            errors += 1
+        elif cell.operation != "barrier" and outcome.digest != reference.digest:
+            divergences += 1
+            violations.append(
+                {
+                    "rule": "schedule-divergence",
+                    "subject": cell.cell_id,
+                    "time": outcome.elapsed,
+                    "detail": (
+                        f"schedule {outcome.signature} produced digest "
+                        f"{outcome.digest} != reference {reference.digest}"
+                    ),
+                }
+            )
+    injected = {"put_jitter": 0, "wakeup_reorder": 0, "master_stall": 0}
+    for outcome in outcomes:
+        for family, count in (outcome.injected or {}).items():
+            injected[family] = injected.get(family, 0) + count
+    ok = (
+        reference.error is None
+        and not violations
+        and errors == 0
+        and divergences == 0
+    )
+    entry = {
+        "cell": cell.cell_id,
+        "nodes": cell.nodes,
+        "procs": cell.procs,
+        "operation": cell.operation,
+        "regime": cell.regime,
+        "nbytes": cell.nbytes,
+        "explorer": explorer,
+        "reference_digest": reference.digest,
+        "reference_error": reference.error,
+        "schedules_explored": len(outcomes),
+        "distinct_signatures": len({o.signature for o in outcomes}),
+        "errors": errors,
+        "divergences": divergences,
+        "violations": violations[:200],
+        "violation_count": len(violations),
+        "faults_injected": injected,
+        "ok": ok,
+    }
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# Grid driver + mutation smoke
+# ---------------------------------------------------------------------------
+
+
+def run_verify(
+    cells: typing.Sequence[Cell] | None = None,
+    schedules: int = 56,
+    explorer: str = "random",
+    seed: int = 0,
+    faults: bool = True,
+    srm_config: SRMConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+    progress: typing.Callable[[str], None] | None = None,
+) -> dict[str, typing.Any]:
+    """Run the verification grid; returns the report body (see report.py).
+
+    ``metrics`` (optional) receives the harness's observability counters:
+    ``verify.schedules`` (explored schedules) and ``verify.violations``.
+    """
+    if cells is None:
+        cells = default_grid()
+    registry = metrics if metrics is not None else MetricsRegistry()
+    schedules_counter = registry.counter("verify.schedules")
+    violations_counter = registry.counter("verify.violations")
+    entries: list[dict] = []
+    for index, cell in enumerate(cells):
+        entry = run_cell(
+            cell,
+            schedules=schedules,
+            explorer=explorer,
+            seed=seed,
+            faults=faults,
+            srm_config=srm_config,
+        )
+        schedules_counter.inc(entry["schedules_explored"])
+        violations_counter.inc(entry["violation_count"])
+        entries.append(entry)
+        if progress is not None:
+            status = "ok" if entry["ok"] else "FAIL"
+            progress(
+                f"[{index + 1}/{len(cells)}] {entry['cell']}: "
+                f"{entry['schedules_explored']} schedules, "
+                f"{entry['violation_count']} violations, "
+                f"{entry['divergences']} divergences ({status})"
+            )
+    return {
+        "mode": "verify",
+        "explorer": explorer,
+        "seed": seed,
+        "faults": faults,
+        "schedules_per_cell": schedules,
+        "cells": entries,
+        "totals": {
+            "cells": len(entries),
+            "cells_ok": sum(1 for e in entries if e["ok"]),
+            "schedules": int(schedules_counter.value),
+            "violations": int(violations_counter.value),
+            "divergences": sum(e["divergences"] for e in entries),
+            "errors": sum(e["errors"] for e in entries),
+        },
+        "ok": all(entry["ok"] for entry in entries),
+    }
+
+
+def run_mutation_smoke(
+    mutations: typing.Sequence[str] | None = None,
+    schedules: int = 8,
+    seed: int = 0,
+    progress: typing.Callable[[str], None] | None = None,
+) -> dict[str, typing.Any]:
+    """Prove the harness detects injected bugs (see :mod:`verify.mutations`).
+
+    Each mutation is applied to the live protocol code and one small cell is
+    explored; the mutation is **detected** when at least one schedule reports
+    a violation or fails (deadlock / protocol error).  The smoke passes only
+    if *every* mutation is detected.
+    """
+    names = list(mutations) if mutations is not None else sorted(MUTATIONS)
+    cell = Cell(nodes=2, procs=3, operation="broadcast", regime="small", nbytes=2048)
+    results: list[dict] = []
+    for name in names:
+        with apply_mutation(name):
+            entry = run_cell(cell, schedules=schedules, seed=seed, faults=False)
+        detected = entry["violation_count"] > 0 or entry["errors"] > 0
+        results.append(
+            {
+                "mutation": name,
+                "expectation": MUTATIONS[name][0],
+                "detected": detected,
+                "violation_count": entry["violation_count"],
+                "errors": entry["errors"],
+                "rules_fired": sorted({v["rule"] for v in entry["violations"]}),
+            }
+        )
+        if progress is not None:
+            progress(
+                f"mutation {name}: "
+                f"{'DETECTED' if detected else 'MISSED'} "
+                f"({entry['violation_count']} violations, {entry['errors']} errors)"
+            )
+    return {
+        "mode": "mutation-smoke",
+        "cell": cell.cell_id,
+        "mutations": results,
+        "ok": all(result["detected"] for result in results),
+    }

@@ -173,6 +173,83 @@ def test_callback_scheduled_same_time_event_lands_in_later_batch():
     assert seen == ["first", "second", "late"]
 
 
+def test_deadlock_error_names_blocked_processes():
+    engine = Engine()
+    orphan = engine.event(name="never-fires")
+
+    def waiter():
+        yield orphan
+
+    target = engine.process(waiter(), name="stuck-rank3")
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.run(until=target)
+    message = str(excinfo.value)
+    assert "stuck-rank3" in message
+    assert "never-fires" in message
+    assert "blocked forever" in message
+    assert "1 process(es)" in message
+
+
+def test_deadlock_error_lists_every_waiter_and_its_event():
+    engine = Engine()
+    gates = {name: engine.event(name=f"gate-{name}") for name in ("a", "b")}
+
+    def waiter(name):
+        yield gates[name]
+
+    for name in gates:
+        engine.process(waiter(name), name=f"proc-{name}")
+    done = engine.timeout(1.0)
+    engine.run(until=done)  # both processes park on their gates
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.step()  # queue is now empty, two processes still blocked
+    message = str(excinfo.value)
+    assert "2 process(es)" in message
+    for name in gates:
+        assert f"proc-{name}" in message
+        assert f"gate-{name}" in message
+
+
+def test_deadlock_error_excludes_finished_processes():
+    engine = Engine()
+    orphan = engine.event(name="orphan")
+
+    def quick():
+        yield engine.timeout(0.5)
+
+    def stuck():
+        yield orphan
+
+    engine.process(quick(), name="finished-fine")
+    target = engine.process(stuck(), name="still-waiting")
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.run(until=target)
+    message = str(excinfo.value)
+    assert "still-waiting" in message
+    assert "finished-fine" not in message
+
+
+def test_empty_queue_deadlock_without_processes_is_bare():
+    with pytest.raises(DeadlockError) as excinfo:
+        Engine().step()
+    assert "blocked" not in str(excinfo.value)  # nothing to name
+
+
+def test_process_registry_prunes_dead_processes():
+    engine = Engine()
+
+    def quick():
+        yield engine.timeout(0.1)
+
+    for index in range(200):
+        engine.process(quick(), name=f"p{index}")
+        engine.run()
+    # Amortized pruning keeps the weak registry from growing one entry per
+    # short-lived process forever (the launch loops create thousands).
+    assert len(engine._processes) < 200
+    assert engine.blocked_processes() == []
+
+
 def test_determinism_same_program_same_trace():
     def trace_run():
         engine = Engine()

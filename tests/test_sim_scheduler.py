@@ -1,0 +1,196 @@
+"""Tests for the pluggable tie-break schedulers and the purity contract."""
+
+import pytest
+
+from repro.sim import Engine, FifoScheduler, RandomScheduler, ReplayScheduler
+
+
+def _race(engine, labels, seen):
+    """Schedule one same-time event per label, recording firing order."""
+    for label in labels:
+        engine.timeout(1.0, value=label).add_callback(lambda e: seen.append(e.value))
+
+
+# ---------------------------------------------------------------------------
+# policy semantics
+# ---------------------------------------------------------------------------
+
+
+def test_fifo_scheduler_matches_default_order():
+    plain, fifo = [], []
+    engine = Engine()
+    _race(engine, "abcd", plain)
+    engine.run()
+    engine = Engine(scheduler=FifoScheduler())
+    _race(engine, "abcd", fifo)
+    engine.run()
+    assert fifo == plain == ["a", "b", "c", "d"]
+
+
+def test_fifo_records_one_decision_per_contended_batch():
+    scheduler = FifoScheduler()
+    engine = Engine(scheduler=scheduler)
+    seen = []
+    _race(engine, "abc", seen)
+    engine.timeout(2.0, value="solo").add_callback(lambda e: seen.append(e.value))
+    engine.run()
+    # Only the 3-way tie is a decision point; the singleton batch is not.
+    assert len(scheduler.trace) == 1
+    assert len(scheduler.trace[0]) == 3
+
+
+def test_random_scheduler_permutes_ties():
+    orders = set()
+    for seed in range(20):
+        seen = []
+        engine = Engine(scheduler=RandomScheduler(seed=seed))
+        _race(engine, "abcd", seen)
+        engine.run()
+        assert sorted(seen) == ["a", "b", "c", "d"]  # a permutation, always
+        orders.add(tuple(seen))
+    assert len(orders) > 1  # different seeds reach different interleavings
+
+
+def test_random_scheduler_same_seed_same_order():
+    def run(seed):
+        seen = []
+        engine = Engine(scheduler=RandomScheduler(seed=seed))
+        _race(engine, "abcdef", seen)
+        engine.run()
+        return seen
+
+    assert run(7) == run(7)
+    assert run(7) != run(8) or run(7) != run(9)  # not all seeds collide
+
+
+def test_replay_choice_moves_event_to_front():
+    seen = []
+    engine = Engine(scheduler=ReplayScheduler(choices=(2,)))
+    _race(engine, "abcd", seen)
+    engine.run()
+    assert seen == ["c", "a", "b", "d"]
+
+
+def test_replay_defaults_to_fifo_past_choices():
+    scheduler = ReplayScheduler(choices=())
+    seen = []
+    engine = Engine(scheduler=scheduler)
+    _race(engine, "abc", seen)
+    engine.run()
+    assert seen == ["a", "b", "c"]
+    assert scheduler.taken == [0]
+    assert scheduler.arities == [3]
+
+
+def test_replay_arity_capped_by_max_branch():
+    scheduler = ReplayScheduler(choices=(), max_branch=2)
+    engine = Engine(scheduler=scheduler)
+    _race(engine, "abcdef", [])
+    engine.run()
+    assert scheduler.arities == [2]
+
+
+def test_replay_out_of_range_choice_raises():
+    engine = Engine(scheduler=ReplayScheduler(choices=(5,)))
+    _race(engine, "ab", [])
+    with pytest.raises(ValueError):
+        engine.run()
+
+
+def test_signature_distinguishes_orders():
+    signatures = set()
+    for choice in range(3):
+        scheduler = ReplayScheduler(choices=(choice,))
+        engine = Engine(scheduler=scheduler)
+        _race(engine, "abc", [])
+        engine.run()
+        signatures.add(scheduler.signature())
+    assert len(signatures) == 3
+
+
+def test_scheduler_reset_clears_trace():
+    scheduler = RandomScheduler(seed=3)
+    engine = Engine(scheduler=scheduler)
+    _race(engine, "abc", [])
+    engine.run()
+    assert scheduler.trace
+    scheduler.reset()
+    assert scheduler.trace == []
+    assert scheduler.signature() == RandomScheduler(seed=3).signature()
+
+
+# ---------------------------------------------------------------------------
+# engine integration
+# ---------------------------------------------------------------------------
+
+
+def test_scheduled_run_until_time():
+    engine = Engine(scheduler=FifoScheduler())
+    engine.timeout(1.0)
+    engine.timeout(10.0)
+    engine.run(until=5.0)
+    assert engine.now == 5.0
+
+
+def test_scheduled_run_until_event():
+    scheduler = ReplayScheduler(choices=(1,))
+    engine = Engine(scheduler=scheduler)
+    seen = []
+    _race(engine, "ab", seen)
+    done = engine.timeout(2.0)
+    engine.run(until=done)
+    assert seen == ["b", "a"]
+
+
+def test_scheduler_only_reorders_within_a_timestamp():
+    seen = []
+    engine = Engine(scheduler=RandomScheduler(seed=1))
+    for delay, label in ((3.0, "late"), (1.0, "early"), (2.0, "mid")):
+        engine.timeout(delay, value=label).add_callback(lambda e: seen.append(e.value))
+    engine.run()
+    assert seen == ["early", "mid", "late"]  # time order is never violated
+
+
+# ---------------------------------------------------------------------------
+# the purity contract: a run is a pure function of (inputs, scheduler)
+# ---------------------------------------------------------------------------
+
+
+def _contended_workload(engine, log):
+    """Five processes racing through shared timestamps."""
+
+    def worker(ident):
+        for step in range(3):
+            yield engine.timeout(1.0)
+            log.append((engine.now, ident, step))
+
+    for ident in range(5):
+        engine.process(worker(ident), name=f"w{ident}")
+
+
+def test_purity_same_scheduler_same_run():
+    """Identical (inputs, scheduler) => identical event log AND trace."""
+
+    def run(seed):
+        scheduler = RandomScheduler(seed=seed)
+        engine = Engine(scheduler=scheduler)
+        log = []
+        _contended_workload(engine, log)
+        engine.run()
+        return log, scheduler.signature()
+
+    assert run(11) == run(11)
+    log_a, sig_a = run(11)
+    log_b, sig_b = run(12)
+    assert sig_a != sig_b  # different scheduler => genuinely different schedule
+
+
+def test_purity_none_scheduler_matches_fifo():
+    def run(scheduler):
+        engine = Engine(scheduler=scheduler)
+        log = []
+        _contended_workload(engine, log)
+        engine.run()
+        return log
+
+    assert run(None) == run(FifoScheduler())

@@ -1,0 +1,172 @@
+"""Property tests for ragged / non-power-of-two tree embeddings (paper §2.1, §5).
+
+Equation (1)'s no-extra-steps argument — the two-level embedding costs no
+more height than a flat tree — assumes **equal node sizes**: with ``n``
+nodes of ``p`` tasks each, ``height <= ceil(log2 n) + ceil(log2 p)``.  For
+arbitrary task groups (the §5 open problem) node populations are ragged and
+the honest bound replaces ``p`` with the *largest* per-node member count:
+``height <= ceil(log2 k) + ceil(log2 max_m)`` over ``k`` used nodes.  These
+tests pin both bounds with hypothesis-generated shapes, exhibit a ragged
+group that breaks the equal-size formula, and check the SRM collectives
+still compute correct results on ragged groups.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SRM
+from repro.machine import ClusterSpec, Machine
+from repro.mpi.ops import SUM
+from repro.trees import group_embedding, smp_embedding
+
+
+def log2ceil(value: int) -> int:
+    return math.ceil(math.log2(value)) if value > 1 else 0
+
+
+@st.composite
+def ragged_groups(draw):
+    """A cluster shape plus a non-empty, usually ragged, member set."""
+    nodes = draw(st.integers(min_value=2, max_value=4))
+    procs = draw(st.integers(min_value=2, max_value=4))
+    spec = ClusterSpec(nodes=nodes, tasks_per_node=procs)
+    total = nodes * procs
+    members = sorted(
+        draw(st.sets(st.integers(0, total - 1), min_size=1, max_size=total))
+    )
+    root = draw(st.sampled_from(members))
+    return spec, members, root
+
+
+# ---------------------------------------------------------------------------
+# equal node sizes: the equation (1) bound
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    nodes=st.integers(min_value=1, max_value=8),
+    procs=st.integers(min_value=1, max_value=8),
+    root_seed=st.integers(min_value=0, max_value=1000),
+)
+def test_equal_sizes_height_bound(nodes, procs, root_seed):
+    spec = ClusterSpec(nodes=nodes, tasks_per_node=procs)
+    root = root_seed % spec.total_tasks
+    trees = smp_embedding(spec, root)
+    assert trees.height() <= log2ceil(nodes) + log2ceil(procs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    log_nodes=st.integers(min_value=0, max_value=3),
+    log_procs=st.integers(min_value=0, max_value=3),
+)
+def test_power_of_two_embedding_adds_no_height(log_nodes, log_procs):
+    # With power-of-two shapes the two-level binomial embedding is exactly
+    # as tall as the flat binomial tree over all P ranks: log2(P) levels.
+    nodes, procs = 2**log_nodes, 2**log_procs
+    spec = ClusterSpec(nodes=nodes, tasks_per_node=procs)
+    trees = smp_embedding(spec, root=0)
+    assert trees.height() == log_nodes + log_procs
+
+
+# ---------------------------------------------------------------------------
+# ragged groups: the max_m bound, and why the equal-size formula fails
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(ragged_groups())
+def test_ragged_height_bound_uses_max_population(case):
+    spec, members, root = case
+    trees = group_embedding(spec, members, root)
+    populations = [len(tree.ranks) for tree in trees.intra.values()]
+    k = len(populations)
+    assert trees.height() <= log2ceil(k) + log2ceil(max(populations))
+
+
+def test_equal_size_formula_fails_on_ragged_groups():
+    # 8 members on node 0, 1 member (the root) on node 1: the equal-size
+    # formula with p = |group| // k = 4 claims height <= 1 + 2 = 3, but the
+    # root must first cross to node 0's representative and then descend its
+    # 8-member binomial tree: height 1 + 3 = 4.  Only the max_m bound holds.
+    spec = ClusterSpec(nodes=2, tasks_per_node=8)
+    members = list(range(8)) + [8]
+    trees = group_embedding(spec, members, root=8)
+    k = len(trees.intra)
+    naive_p = len(members) // k
+    assert trees.height() > log2ceil(k) + log2ceil(naive_p)
+    assert trees.height() <= log2ceil(k) + log2ceil(8)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ragged_groups())
+def test_ragged_embedding_structure(case):
+    spec, members, root = case
+    trees = group_embedding(spec, members, root)
+    combined = trees.combined()
+    # Spans exactly the group.
+    assert sorted(combined.ranks) == members
+    # Every member reaches the root through finite parent chains (no cycles).
+    for rank in members:
+        hops, current = 0, rank
+        while current != root:
+            parent = combined.parent_of(current)
+            assert parent is not None, f"rank {current} is disconnected"
+            current = parent
+            hops += 1
+            assert hops <= len(members), "cycle in combined tree"
+    # Intra edges never cross nodes; inter edges only join representatives.
+    for node, tree in trees.intra.items():
+        for rank in tree.ranks:
+            parent = tree.parent_of(rank)
+            if parent is not None:
+                assert spec.node_of(parent) == spec.node_of(rank) == node
+    representatives = set(trees.representatives.values())
+    for rank in trees.inter.ranks:
+        assert rank in representatives
+
+
+# ---------------------------------------------------------------------------
+# correctness of the collectives on ragged groups
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(ragged_groups())
+def test_ragged_group_broadcast_delivers_everywhere(case):
+    spec, members, root = case
+    machine = Machine(spec)
+    srm = SRM(machine, group=members)
+    payload = np.arange(700, dtype=np.uint8) % 251
+    buffers = {
+        r: (payload.copy() if r == root else np.zeros_like(payload)) for r in members
+    }
+
+    def program(task):
+        yield from srm.broadcast(task, buffers[task.rank], root=root)
+
+    machine.launch(program, ranks=members)
+    for rank in members:
+        assert np.array_equal(buffers[rank], payload), f"rank {rank}"
+
+
+@settings(max_examples=12, deadline=None)
+@given(ragged_groups())
+def test_ragged_group_allreduce_sums_exactly(case):
+    spec, members, _root = case
+    machine = Machine(spec)
+    srm = SRM(machine, group=members)
+    sources = {r: np.full(32, float(r + 1)) for r in members}
+    outs = {r: np.zeros(32) for r in members}
+
+    def program(task):
+        yield from srm.allreduce(task, sources[task.rank], outs[task.rank], SUM)
+
+    machine.launch(program, ranks=members)
+    expected = float(sum(r + 1 for r in members))
+    for rank in members:
+        assert np.all(outs[rank] == expected), f"rank {rank}"
