@@ -9,7 +9,12 @@ small retunes, not measurement noise.
 When a cell regresses, the report does not stop at "slower": it diffs the
 two critical-path phase breakdowns and names the dominant phase — the phase
 whose critical-path share grew the most — so "allreduce 64 KB on 16 nodes is
-+38%" arrives already localized to, say, ``counter-wait``.
++38%" arrives already localized to, say, ``counter-wait``.  When the cells
+carry wait-state breakdowns (schema v1 with :mod:`repro.obs.waits` data),
+it goes one level deeper via :func:`repro.obs.diff.diff_cells` and names the
+cause: "+340 us of bandwidth-contention on ``bus[0]`` during ``ring-step``".
+:func:`diff_document` assembles the full differential analysis of every
+moved cell as a JSON artifact for CI upload (``regress --diff-out``).
 
 Exit policy (:attr:`RegressionReport.ok`): regressions and vanished cells
 fail the gate; improvements, new cells, and in-tolerance drift pass.  A
@@ -25,15 +30,21 @@ from dataclasses import dataclass, field
 from repro.bench.report import format_bytes
 from repro.bench.snapshot import SCHEMA_VERSION, cell_key
 from repro.errors import ConfigurationError
+from repro.obs.diff import diff_cells
 
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "DIFF_KIND",
     "SchemaMismatchError",
     "CellDelta",
     "RegressionReport",
     "compare_snapshots",
+    "diff_document",
     "format_report",
 ]
+
+#: Document marker for the differential-analysis artifact (``--diff-out``).
+DIFF_KIND = "repro-trace-diff"
 
 #: Relative slowdown tolerated before a cell counts as a regression (5%).
 DEFAULT_TOLERANCE = 0.05
@@ -64,6 +75,11 @@ class CellDelta:
     dominant_phase: str | None = None
     #: Phase -> candidate-minus-baseline critical-path microseconds.
     phase_deltas_us: dict[str, float] = field(default_factory=dict)
+    #: For regressions with wait-state data: the (state, context, resource)
+    #: bucket that grew the most, phrased for humans ("bandwidth-contention
+    #: on bus[0] during ring-step"), and how much it grew.
+    dominant_wait: str | None = None
+    wait_delta_us: float = 0.0
 
     @property
     def label(self) -> str:
@@ -165,11 +181,15 @@ def compare_snapshots(
         ratio = cand_us / base_us if base_us > 0 else float("inf")
         relative = ratio - 1.0
         dominant, deltas = None, {}
+        dominant_wait, wait_delta_us = None, 0.0
         if abs(relative) <= _EXACT_EPSILON:
             status = "pass"
         elif relative > tolerance:
             status = "regression"
             dominant, deltas = _attribute(base, cand)
+            grown = diff_cells(base, cand).dominant_wait()
+            if grown is not None:
+                dominant_wait, wait_delta_us = grown.label, grown.delta_us
         elif relative < -tolerance:
             status = "improvement"
         else:
@@ -187,9 +207,40 @@ def compare_snapshots(
                 status=status,
                 dominant_phase=dominant,
                 phase_deltas_us=deltas,
+                dominant_wait=dominant_wait,
+                wait_delta_us=wait_delta_us,
             )
         )
     return report
+
+
+def diff_document(baseline: dict, candidate: dict, report: RegressionReport) -> dict:
+    """The full differential trace analysis of every moved cell, JSON-ready.
+
+    One :class:`~repro.obs.diff.TraceDiff` per non-"pass" cell — phase and
+    wait-state alignment included — suitable for ``regress --diff-out`` and
+    CI artifact upload.  Cells are emitted in grid order; all maps inside are
+    key-sorted, so the artifact is byte-stable.
+    """
+    base_cells = {cell_key(cell): cell for cell in baseline["cells"]}
+    cand_cells = {cell_key(cell): cell for cell in candidate["cells"]}
+    cells = []
+    for delta in report.cells:
+        if delta.status == "pass":
+            continue
+        key = (delta.operation, delta.stack, delta.nbytes, delta.nodes)
+        trace = diff_cells(base_cells[key], cand_cells[key])
+        cells.append({"key": list(key), "status": delta.status, **trace.to_dict()})
+    return {
+        "kind": DIFF_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "baseline_label": baseline.get("label"),
+        "candidate_label": candidate.get("label"),
+        "tolerance": report.tolerance,
+        "ok": report.ok,
+        "compared": len(report.cells),
+        "cells": cells,
+    }
 
 
 def _identity_drift(base: dict, cand: dict, prefix: str = "") -> list[str]:
@@ -227,7 +278,9 @@ def format_report(report: RegressionReport, verbose: bool = False) -> str:
         change = (cell.ratio - 1.0) * 100
         line = f"  REGRESSION {cell.label}: {cell.baseline_us:.1f} -> " \
                f"{cell.candidate_us:.1f} us (+{change:.1f}%)"
-        if cell.dominant_phase is not None:
+        if cell.dominant_wait is not None:
+            line += f" -- +{cell.wait_delta_us:.1f} us of {cell.dominant_wait}"
+        elif cell.dominant_phase is not None:
             grew = cell.phase_deltas_us.get(cell.dominant_phase, 0.0)
             if grew > 0:
                 line += f", localized to {cell.dominant_phase} (+{grew:.1f} us on the critical path)"

@@ -43,16 +43,20 @@ def build(
     cost: CostModel | None = None,
     srm_config: SRMConfig | None = None,
     seed: int = 0,
+    policy: typing.Any = None,
 ) -> tuple[Machine, typing.Any]:
     """Build a fresh machine plus the named collective stack on it.
 
     Each stack gets its own machine so per-stack cost tuning (MPICH's
     layering overheads) and persistent state never leak across comparisons.
+    ``policy`` overrides the SRM stack's protocol-selection policy (a
+    :class:`~repro.core.dispatch.SelectionPolicy`); the MPI stacks, which
+    have no dispatch layer, ignore it.
     """
     base = cost if cost is not None else CostModel.ibm_sp_colony()
     if stack == "srm":
         machine = Machine(spec, cost=base, seed=seed)
-        return machine, SRM(machine, config=srm_config)
+        return machine, SRM(machine, config=srm_config, policy=policy)
     if stack == "ibm":
         machine = Machine(spec, cost=IbmMpi.tune_cost(base), seed=seed)
         return machine, IbmMpi(machine)

@@ -8,7 +8,11 @@ artifact: for every (operation, stack, size, nodes) cell it records
   waits — from the cell's own fresh machine, and
 * the critical-path per-phase breakdown of the timed window, so a later
   regression can be *attributed* ("+38% on internode reduce 64 KB,
-  localized to counter-wait") instead of merely detected.
+  localized to counter-wait") instead of merely detected, and
+* the wait-state breakdown (``state|context|resource -> us``, see
+  :mod:`repro.obs.waits`), so that attribution can go one level deeper and
+  name the *cause* — "+340 us of bandwidth-contention on ``bus[0]`` during
+  ``ring-step``".
 
 Cells are emitted sorted by ``(operation, stack, nbytes, nodes)`` and every
 map inside a cell is key-sorted, so two runs of an identical tree serialize
@@ -33,6 +37,7 @@ from repro.bench.sweeps import MB, full_grid, message_sizes, processor_configs
 from repro.errors import ConfigurationError
 from repro.machine import ClusterSpec
 from repro.obs.critical import critical_path
+from repro.obs.waits import classify_waits
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -130,9 +135,14 @@ def capture_cell(
             machine.obs.recorder, start=result.start_time, end=result.end_time
         )
         cell["critical_path"] = path.to_dict()
+        waits = classify_waits(
+            machine, start=result.start_time, end=result.end_time, critical=path
+        )
+        cell["wait_states"] = waits.summary_us()
     else:
         # A machine that recorded no spans at all still gates on latency.
         cell["critical_path"] = None
+        cell["wait_states"] = {}
     return cell
 
 

@@ -9,9 +9,16 @@ Commands
     One data point across all three stacks.
 ``trace --op broadcast --bytes 8192 --nodes 2 --tasks 4 [--stack srm]``
     Run one collective and print the per-rank timeline
-    (``--chrome-out FILE`` additionally writes a Perfetto-loadable trace).
+    (``--chrome-out FILE`` additionally writes a Perfetto-loadable trace;
+    ``--policy`` swaps the SRM protocol-selection policy).
 ``profile --op allreduce --bytes 16384 --nodes 8 --tasks 16``
-    Run one collective and print the critical-path phase breakdown.
+    Run one collective and print the critical-path phase breakdown plus the
+    wait-state attribution table (late-sender / late-release /
+    bandwidth-contention / resource-queueing, see ``repro.obs.waits``).
+    ``--policy {paper,cost,tuned,fixed}`` selects the dispatch policy;
+    ``--diff TARGET`` additionally runs a differential trace analysis
+    against TARGET — another policy name, or a ``BENCH_*.json`` snapshot
+    whose matching cell becomes the baseline.
 ``bench --json-out BENCH_head.json [--label head] [--full] [--jobs N]``
     Run the snapshot grid and write one schema-versioned telemetry snapshot
     (latencies + metrics + critical-path breakdown per cell).
@@ -24,9 +31,13 @@ Grid-shaped commands (``bench``, ``regress`` fresh runs, ``tune``,
 cells over N worker processes (``--jobs 0`` = every core; default serial).
 Artifacts are byte-identical at any ``--jobs`` setting.
 ``regress --baseline BENCH_seed.json [--candidate BENCH_head.json]
-[--tolerance 0.05] [--update]``
+[--tolerance 0.05] [--update] [--diff-out DIFF.json] [--trace-out T.json]``
     Diff a candidate snapshot (or a fresh run) against the committed
     baseline; fail on unexplained regressions or figure-shape violations.
+    Regressions are attributed down to the wait state and resource
+    responsible ("+340 us of bandwidth-contention on bus[0] during
+    ring-step"); ``--diff-out`` writes the full differential trace analysis
+    and ``--trace-out`` a Perfetto trace of the worst regressed cell.
 ``tune [-o TUNED.json] [--dry-run] [--ops broadcast,allreduce]``
     Race every registered algorithm variant over the bench grid and write
     the per-cell winners as a ``TunedPolicy`` decision table
@@ -105,18 +116,54 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_collective(args: argparse.Namespace):
+def _resolve_policy(args: argparse.Namespace, name: str | None = None):
+    """A ``--policy`` name -> a dispatch :class:`SelectionPolicy` instance.
+
+    ``tuned`` loads the decision table named by ``--tuned-table``; ``fixed``
+    parses ``--fixed op=variant[,op=variant...]``.
+    """
+    from repro.core.dispatch import (
+        CostModelPolicy,
+        FixedPolicy,
+        PaperPolicy,
+        TunedPolicy,
+    )
+
+    if name is None:
+        name = getattr(args, "policy", "paper")
+    if name == "paper":
+        return PaperPolicy()
+    if name == "cost":
+        return CostModelPolicy()
+    if name == "tuned":
+        return TunedPolicy.load(args.tuned_table)
+    if name == "fixed":
+        choices: dict[str, str] = {}
+        for pair in (args.fixed or "").split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            op, _, variant = pair.partition("=")
+            choices[op.strip()] = variant.strip()
+        if not choices:
+            raise SystemExit("--policy fixed requires --fixed op=variant[,op=variant]")
+        return FixedPolicy(choices)
+    raise SystemExit(f"unknown policy {name!r}")
+
+
+def _run_collective(args: argparse.Namespace, policy: typing.Any = None):
     """Build a machine + traced stack and run one collective call.
 
     Shared by ``trace`` and ``profile``; returns the machine, the tracer,
-    and the :class:`~repro.machine.cluster.LaunchResult`.
+    and the :class:`~repro.machine.cluster.LaunchResult`.  ``policy``
+    overrides the SRM dispatch policy (MPI stacks ignore it).
     """
     import numpy as np
 
     from repro.mpi.ops import SUM
 
     spec = ClusterSpec(nodes=args.nodes, tasks_per_node=args.tasks)
-    machine, stack = build(args.stack, spec)
+    machine, stack = build(args.stack, spec, policy=policy)
     tracer = Tracer(machine)
     traced = tracer.wrap(stack)
     total = spec.total_tasks
@@ -142,7 +189,7 @@ def _run_collective(args: argparse.Namespace):
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    machine, tracer, _result = _run_collective(args)
+    machine, tracer, _result = _run_collective(args, policy=_resolve_policy(args))
     print(tracer.timeline(args.op, width=args.width))
     totals = tracer.totals()
     print(
@@ -159,11 +206,73 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_diff(args: argparse.Namespace, machine, result) -> int:
+    """``profile --diff TARGET``: differential trace analysis.
+
+    TARGET is another policy name (run the same collective under it and
+    compare) or a ``BENCH_*.json`` snapshot path (its matching cell becomes
+    the baseline and a fresh apples-to-apples capture the candidate).
+    """
+    import os
+
+    from repro.obs.diff import capture_profile, diff_cells, diff_profiles, format_diff
+
+    target = args.diff
+    if os.path.exists(target) or target.endswith(".json"):
+        from repro.bench.snapshot import capture_cell, cell_seed, load_snapshot
+
+        snapshot = load_snapshot(target)
+        key = (args.op, args.stack, args.bytes, args.nodes)
+        cells = {
+            (c["operation"], c["stack"], c["nbytes"], c["nodes"]): c
+            for c in snapshot["cells"]
+        }
+        baseline = cells.get(key)
+        if baseline is None:
+            print(
+                f"snapshot {target} has no cell {key}; it has "
+                f"{len(cells)} cells over ops "
+                f"{sorted({k[0] for k in cells})}",
+                file=sys.stderr,
+            )
+            return 2
+        candidate = capture_cell(
+            args.stack, args.op, args.bytes, args.nodes,
+            seed=cell_seed(args.op, args.stack, args.bytes, args.nodes),
+        )
+        diff = diff_cells(baseline, candidate)
+        print(f"\ndifferential analysis vs {snapshot['label']!r} cell of {target}:")
+    else:
+        other_policy = _resolve_policy(args, name=target)
+        other_machine, _tracer, other_result = _run_collective(args, policy=other_policy)
+        baseline = capture_profile(
+            other_machine,
+            other_result.start_time,
+            other_result.end_time,
+            microseconds=other_result.elapsed * 1e6,
+        )
+        candidate = capture_profile(
+            machine,
+            result.start_time,
+            result.end_time,
+            microseconds=result.elapsed * 1e6,
+        )
+        diff = diff_profiles(
+            baseline,
+            candidate,
+            label=f"{args.op} {args.stack}: policy {target} -> {args.policy}",
+        )
+        print(f"\ndifferential analysis, policy {target} (baseline) vs {args.policy}:")
+    print(format_diff(diff))
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.critical import critical_path
     from repro.obs.export import chrome_trace, metrics_dump, write_json
+    from repro.obs.waits import classify_waits
 
-    machine, tracer, result = _run_collective(args)
+    machine, tracer, result = _run_collective(args, policy=_resolve_policy(args))
     path = critical_path(
         machine.obs.recorder, start=result.start_time, end=result.end_time
     )
@@ -181,6 +290,35 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         f"attributed: {100 * path.attributed / path.total:.1f}% "
         f"({len(path.segments)} segments)"
     )
+
+    waits = classify_waits(
+        machine, start=result.start_time, end=result.end_time, critical=path
+    )
+    if waits.intervals:
+        critical_by_key: dict[str, float] = {}
+        for interval in waits.intervals:
+            if interval.on_critical_path:
+                key = interval.key()
+                critical_by_key[key] = critical_by_key.get(key, 0.0) + interval.duration
+        wait_rows = []
+        for key, seconds in sorted(waits.by_key().items(), key=lambda kv: -kv[1]):
+            state, context, resource = key.split("|")
+            wait_rows.append(
+                [
+                    state,
+                    context,
+                    resource,
+                    format_us(seconds),
+                    format_us(critical_by_key.get(key, 0.0)),
+                ]
+            )
+        print_table(
+            f"wait states ({len(waits.intervals)} blocked intervals, "
+            f"{format_us(waits.total_blocked)} us blocked across ranks)",
+            ["state", "during", "resource", "blocked [us]", "critical [us]"],
+            wait_rows,
+        )
+
     print(f"\ntop {args.top} critical-path segments:")
     for segment in path.top(args.top):
         print(
@@ -194,6 +332,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.json_out:
         write_json(args.json_out, metrics_dump(machine, tracer))
         print(f"wrote metrics dump to {args.json_out}")
+    if args.diff:
+        return _profile_diff(args, machine, result)
     return 0
 
 
@@ -248,10 +388,27 @@ def _cmd_bench_self(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_regression_trace(cell, path: str) -> None:
+    """Re-run the worst regressed cell and write its Perfetto trace."""
+    from repro.bench.runner import looped_program, operation_body
+    from repro.bench.snapshot import cell_seed
+    from repro.obs.export import chrome_trace, write_json
+
+    spec = ClusterSpec(nodes=cell.nodes, tasks_per_node=16)
+    machine, stack = build(
+        cell.stack, spec,
+        seed=cell_seed(cell.operation, cell.stack, cell.nbytes, cell.nodes),
+    )
+    body = operation_body(machine, stack, cell.operation, cell.nbytes)
+    machine.launch(looped_program(body, 1))
+    write_json(path, chrome_trace(machine))
+
+
 def _cmd_regress(args: argparse.Namespace) -> int:
-    from repro.bench.regress import compare_snapshots, format_report
+    from repro.bench.regress import compare_snapshots, diff_document, format_report
     from repro.bench.shapes import check_shapes, format_shape_results
     from repro.bench.snapshot import collect_snapshot, load_snapshot, write_snapshot
+    from repro.obs.export import write_json
 
     baseline = load_snapshot(args.baseline)
     if args.candidate is not None:
@@ -268,6 +425,17 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     shapes = check_shapes(candidate)
     print(format_shape_results(shapes))
     shapes_ok = all(result.ok for result in shapes)
+
+    if args.diff_out:
+        write_json(args.diff_out, diff_document(baseline, candidate, report))
+        print(f"wrote differential trace analysis to {args.diff_out}")
+    if args.trace_out:
+        if report.regressions:
+            worst = max(report.regressions, key=lambda cell: cell.ratio)
+            _write_regression_trace(worst, args.trace_out)
+            print(f"wrote Perfetto trace of worst regression ({worst.label}) to {args.trace_out}")
+        else:
+            print("no regressions; skipping --trace-out")
 
     if args.update:
         write_snapshot(args.baseline, candidate)
@@ -531,6 +699,22 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             "default 1 = serial; results are byte-identical either way)",
         )
 
+    def _add_policy_args(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--policy", default="paper", choices=["paper", "cost", "tuned", "fixed"],
+            help="SRM protocol-selection policy (MPI stacks ignore it): "
+            "paper = the paper's size thresholds, cost = analytic cost "
+            "model, tuned = measured decision table, fixed = forced variants",
+        )
+        subparser.add_argument(
+            "--tuned-table", default="TUNED.json", metavar="FILE",
+            help="decision table for --policy tuned (default TUNED.json)",
+        )
+        subparser.add_argument(
+            "--fixed", default=None, metavar="OP=VARIANT[,..]",
+            help="forced variants for --policy fixed, e.g. allreduce=ring",
+        )
+
     figures = commands.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument("--fig", type=int, default=None, help="only this figure number")
     figures.add_argument("--full", action="store_true", help="use the full paper grid")
@@ -555,6 +739,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     trace.add_argument(
         "--chrome-out", default=None, help="also write a Perfetto/Chrome trace JSON here"
     )
+    _add_policy_args(trace)
     trace.set_defaults(handler=_cmd_trace)
 
     profile = commands.add_parser(
@@ -571,6 +756,13 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     )
     profile.add_argument(
         "--json-out", default=None, help="write the JSON metrics dump here ('-' = stdout)"
+    )
+    _add_policy_args(profile)
+    profile.add_argument(
+        "--diff", default=None, metavar="TARGET",
+        help="differential trace analysis against TARGET: another policy "
+        "name (paper/cost/tuned/fixed) or a BENCH_*.json snapshot whose "
+        "matching cell becomes the baseline",
     )
     profile.set_defaults(handler=_cmd_profile)
 
@@ -615,6 +807,15 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         help="also write a freshly-run candidate snapshot here",
     )
     regress.add_argument("--verbose", action="store_true", help="list every cell")
+    regress.add_argument(
+        "--diff-out", default=None,
+        help="write the per-cell differential trace analysis (phases + wait "
+        "states) as JSON here",
+    )
+    regress.add_argument(
+        "--trace-out", default=None,
+        help="write a Perfetto trace of the worst regressed cell here",
+    )
     add_jobs(regress)
     regress.set_defaults(handler=_cmd_regress)
 

@@ -41,7 +41,14 @@ from repro.core.internode.broadcast import srm_broadcast
 from repro.core.smp.broadcast import smp_broadcast_chunk
 from repro.errors import ConfigurationError
 from repro.lapi.counters import LapiCounter
-from repro.obs.taxonomy import BLOCK_REGISTER, BLOCK_TRANSFER, PIPELINE_CHUNK, RING_STEP, STREAM_JOIN
+from repro.obs.taxonomy import (
+    BLOCK_REGISTER,
+    BLOCK_TRANSFER,
+    FLOW_RING_SIGNAL,
+    PIPELINE_CHUNK,
+    RING_STEP,
+    STREAM_JOIN,
+)
 from repro.shmem.flags import SharedFlag
 from repro.sim.process import ProcessGenerator
 
@@ -402,6 +409,7 @@ def _allgather_ring(
     for step in range(ring_size - 1):
         with task.phase(RING_STEP):
             source_node = plan.node_order[(my_position - step) % ring_size]
+            issue_ts = task.engine.now
             delivery = yield from task.lapi.put(
                 right_master,
                 segment_view(right_buffer, source_node),
@@ -413,7 +421,10 @@ def _allgather_ring(
             # counter strictly in send order, as the FIFO switch route would.
             signal = task.engine.event(name=f"ag-fifo:{node}:{step}")
             task.engine.process(
-                _ring_signal(delivery, previous_signal, plan.ring_arrival[right], signal),
+                _ring_signal(
+                    delivery, previous_signal, plan.ring_arrival[right], signal,
+                    flow=_signal_flow(task, issue_ts, right_master),
+                ),
                 name=f"ag-signal:{node}->{right}",
             )
             previous_signal = signal
@@ -426,12 +437,32 @@ def _allgather_ring(
     yield from _fan_out(ctx, state, task, data)
 
 
-def _ring_signal(delivery, previous_signal, counter, signal) -> ProcessGenerator:
+def _ring_signal(delivery, previous_signal, counter, signal, flow=None) -> ProcessGenerator:
     yield delivery
     if previous_signal is not None and not previous_signal.processed:
         yield previous_signal
     counter.increment()
+    if flow is not None:
+        flow()
     signal.succeed()
+
+
+def _signal_flow(task: "Task", issue_ts: float, dst_rank: int):
+    """A callback recording the ``ring-signal`` flow link at increment time.
+
+    FIFO-chained ring signals increment the neighbour's arrival counter from
+    a helper process, invisible to the put-level flow links; this records the
+    causal edge the wait-state classifier and critical-path walker need —
+    issued when the put was injected, delivered when the signal lands.
+    Purely passive (an append on the recorder), so simulation timing is
+    untouched.
+    """
+    obs, engine = task.obs, task.engine
+
+    def record() -> None:
+        obs.flow(FLOW_RING_SIGNAL, task.rank, issue_ts, dst_rank, engine.now)
+
+    return record
 
 
 def _fan_out(ctx: SRMContext, state, task: "Task", data: np.ndarray) -> ProcessGenerator:

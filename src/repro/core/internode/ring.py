@@ -31,7 +31,7 @@ import typing
 import numpy as np
 
 from repro.core.context import SRMContext
-from repro.core.internode.gatherscatter import _fan_out, _ring_signal
+from repro.core.internode.gatherscatter import _fan_out, _ring_signal, _signal_flow
 from repro.core.smp.reduce import smp_reduce_chunk
 from repro.errors import ConfigurationError
 from repro.lapi.counters import LapiCounter
@@ -186,6 +186,7 @@ def srm_allreduce_ring(
                         plan.rs_sent[node] += 1
                         yield from task.lapi.waitcntr(plan.rs_free[node], 1)
                         piece = outgoing[low:high]
+                        issue_ts = task.engine.now
                         delivery = yield from task.lapi.put(
                             right_master,
                             right_staging[slot][: piece.nbytes].view(dtype),
@@ -193,7 +194,10 @@ def srm_allreduce_ring(
                         )
                         signal = task.engine.event(name=f"ringrs:{node}")
                         task.engine.process(
-                            _ring_signal(delivery, rs_signal_chain, plan.rs_arrival[right], signal),
+                            _ring_signal(
+                                delivery, rs_signal_chain, plan.rs_arrival[right], signal,
+                                flow=_signal_flow(task, issue_ts, right_master),
+                            ),
                             name=f"ringrs-signal:{node}",
                         )
                         rs_signal_chain = signal
@@ -219,6 +223,7 @@ def srm_allreduce_ring(
         for step in range(ring_size - 1):
             with task.phase(RING_STEP):
                 source_index = my_position + 1 - step
+                issue_ts = task.engine.now
                 delivery = yield from task.lapi.put(
                     right_master,
                     segment(right_dst, source_index),
@@ -227,7 +232,10 @@ def srm_allreduce_ring(
                 deliveries.append(delivery)
                 signal = task.engine.event(name=f"ringag:{node}:{step}")
                 task.engine.process(
-                    _ring_signal(delivery, previous_signal, plan.ag_arrival[right], signal),
+                    _ring_signal(
+                        delivery, previous_signal, plan.ag_arrival[right], signal,
+                        flow=_signal_flow(task, issue_ts, right_master),
+                    ),
                     name=f"ringag-signal:{node}",
                 )
                 previous_signal = signal

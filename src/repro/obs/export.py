@@ -9,15 +9,25 @@
   (category ``phase``) — children of the call slices by time containment;
 * flow events (``ph: s``/``f``) for every recorded causal link — Perfetto
   draws them as arrows from a put's issue slice to the remote counter-wait
-  slice it released.
+  slice it released;
+* counter tracks (``ph: C``, category ``resource``) for every
+  :class:`~repro.obs.monitor.ResourceTimeline` sample — bus/NIC occupancy,
+  FIFO queue depth, and saturation render as stacked area charts above the
+  slice tracks, so "who was hogging node 0's memory bus during that
+  flag-wait?" is answered by looking up.
 
 Track layout: pid 0, tid ``rank * 64 + subtrack`` — subtrack 0 is the rank's
 program process (where call slices also live), higher subtracks are helper
 processes (put deliveries, large-message forwarders, Fig. 5 stages), so
 overlapping concurrent spans of one rank never corrupt slice nesting.
 
-:func:`metrics_dump` serializes the metrics registry plus per-task substrate
-stats as one JSON-ready dict.
+Every event family is emitted in a deterministic sorted order — flows by
+``(src_ts, src_rank, dst_ts, dst_rank, kind, detail)`` with ids assigned
+after the sort, counter samples by ``(ts, resource name)`` — so two exports
+of the same run are byte-identical artifacts (diffable in CI).
+
+:func:`metrics_dump` serializes the metrics registry, resource-timeline
+summaries, and per-task substrate stats as one JSON-ready dict.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ def chrome_trace(
     tracer: typing.Any | None = None,
     include_phases: bool = True,
     include_flows: bool = True,
+    include_counters: bool = True,
 ) -> list[dict]:
     """The machine's recorded activity as Chrome Trace Event JSON."""
     events: list[dict] = []
@@ -96,7 +107,14 @@ def chrome_trace(
             )
 
     if include_flows:
-        for index, link in enumerate(recorder.flows):
+        # Deterministic order: recorded order depends on scheduler internals
+        # at equal timestamps, so sort by the links' own coordinates and
+        # assign ids after the sort — the export is a byte-stable artifact.
+        links = sorted(
+            recorder.flows,
+            key=lambda f: (f.src_ts, f.src_rank, f.dst_ts, f.dst_rank, f.kind, f.detail),
+        )
+        for index, link in enumerate(links):
             common = {"cat": "flow", "name": link.kind, "id": index, "pid": 0}
             events.append(
                 {
@@ -117,6 +135,9 @@ def chrome_trace(
                 }
             )
 
+    if include_counters:
+        events.extend(_counter_events(machine))
+
     # Human-readable track names (metadata events sort first in viewers).
     names: list[dict] = []
     for rank in sorted(ranks):
@@ -124,6 +145,45 @@ def chrome_trace(
         for track in range(1, tracks_used.get(rank, 0) + 1):
             names.append(_thread_name(rank, track, f"rank {rank} helper {track}"))
     return names + events
+
+
+def _counter_events(machine: "Machine") -> list[dict]:
+    """Perfetto counter-track events from the resource monitor's timelines.
+
+    One ``ph: "C"`` event per recorded sample, sorted by (timestamp, resource
+    name) so the artifact is byte-stable.  Each resource gets its own named
+    counter track (Perfetto keys counter tracks by event name).
+    """
+    monitor = getattr(machine.obs, "monitor", None)
+    if monitor is None:
+        return []
+    points: list[tuple[float, str, dict]] = []
+    for name in sorted(monitor.timelines):
+        timeline = monitor.timelines[name]
+        for sample in timeline.samples:
+            points.append(
+                (
+                    sample.time,
+                    name,
+                    {
+                        "occupancy": sample.occupancy,
+                        "queued": sample.queued,
+                        "saturated": 1 if sample.saturated else 0,
+                    },
+                )
+            )
+    points.sort(key=lambda p: (p[0], p[1]))
+    return [
+        {
+            "name": f"resource:{name}",
+            "cat": "resource",
+            "ph": "C",
+            "ts": ts * 1e6,
+            "pid": 0,
+            "args": args,
+        }
+        for ts, name, args in points
+    ]
 
 
 def _thread_name(rank: int, track: int, label: str) -> dict:
@@ -158,12 +218,14 @@ def metrics_dump(machine: "Machine", tracer: typing.Any | None = None) -> dict:
             },
             "mpi": {"sends": task.mpi.stats.sends},
         }
+    monitor = getattr(machine.obs, "monitor", None)
     out = {
         "simulated_time": machine.engine.now,
         "events_processed": machine.engine.events_processed,
         "metrics": machine.obs.metrics.to_dict(),
         "phase_totals": machine.obs.recorder.by_phase(),
         "flow_counts": _flow_counts(machine),
+        "resources": monitor.to_dict() if monitor is not None else {},
         "tasks": tasks,
     }
     if tracer is not None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import typing
 
 from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.monitor import ResourceMonitor
 from repro.obs.spans import PhaseRecorder
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -39,6 +40,14 @@ class Observability:
             MetricsRegistry(clock=lambda: engine.now) if enabled else NullRegistry()
         )
         self.recorder = PhaseRecorder(engine, enabled=enabled)
+        #: Resource occupancy/queue-depth timelines.  Attached to the engine
+        #: (like the verifier and fault plan) so the contention resources in
+        #: :mod:`repro.sim.resources` can report transitions with one
+        #: ``is None`` test; ``None`` when observation is disabled.
+        self.monitor: ResourceMonitor | None = (
+            ResourceMonitor(engine) if enabled else None
+        )
+        engine.monitor = self.monitor
 
         # Pre-bound hot-path instruments (shared no-ops when disabled).
         m = self.metrics

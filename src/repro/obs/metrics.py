@@ -102,6 +102,47 @@ def _bucket_label(index: int) -> str:
     return f"<=2^{index - 1}"
 
 
+def _bucket_bounds(index: int) -> tuple[float, float]:
+    """The (lo, hi] value range of one bucket, for percentile interpolation."""
+    if index == 0:
+        return (0.0, 0.0)
+    if index == 1:
+        return (0.0, 1.0)
+    return (2.0 ** (index - 2), 2.0 ** (index - 1))
+
+
+def _bucket_percentile(
+    buckets: dict[int, float],
+    q: float,
+    lo_clamp: float,
+    hi_clamp: float,
+) -> float:
+    """The q-th percentile of a bucketed distribution.
+
+    Linear interpolation within the crossing bucket, clamped to the observed
+    ``[min, max]`` so the power-of-two bucket width never reports a value
+    outside what was actually seen.
+    """
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    total = sum(buckets.values())
+    if total <= 0:
+        return 0.0
+    target = (q / 100.0) * total
+    cumulative = 0.0
+    for index in sorted(buckets):
+        weight = buckets[index]
+        if weight <= 0:
+            continue
+        if cumulative + weight >= target:
+            lo, hi = _bucket_bounds(index)
+            fraction = (target - cumulative) / weight
+            value = lo + (hi - lo) * fraction
+            return min(max(value, lo_clamp), hi_clamp)
+        cumulative += weight
+    return hi_clamp
+
+
 class Histogram:
     """A value distribution over power-of-two buckets."""
 
@@ -132,6 +173,14 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0-100), interpolated within its bucket."""
+        if not self.count:
+            return 0.0
+        return _bucket_percentile(
+            {i: float(n) for i, n in self._buckets.items()}, q, self.min, self.max
+        )
+
     def to_dict(self) -> dict:
         return {
             "count": self.count,
@@ -139,6 +188,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "buckets": {
                 _bucket_label(i): n for i, n in sorted(self._buckets.items())
             },
@@ -210,6 +262,18 @@ class TimeWeightedHistogram:
             elapsed += now - self._since
         return weighted / elapsed if elapsed > 0 else 0.0
 
+    def percentile(self, q: float) -> float:
+        """The q-th *time-weighted* percentile: the signal level below which
+        the signal sat for q% of the elapsed time (open interval included)."""
+        if not self.observations:
+            return 0.0
+        buckets = dict(self._bucket_seconds)
+        now = self._clock()
+        if self._value is not None and now > self._since:
+            index = _bucket_index(self._value)
+            buckets[index] = buckets.get(index, 0.0) + (now - self._since)
+        return _bucket_percentile(buckets, q, self.min, self.max)
+
     def to_dict(self) -> dict:
         return {
             "observations": self.observations,
@@ -217,6 +281,9 @@ class TimeWeightedHistogram:
             "min": self.min if self.observations else None,
             "max": self.max if self.observations else None,
             "current": self._value,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "bucket_seconds": {
                 _bucket_label(i): s for i, s in sorted(self._bucket_seconds.items())
             },
@@ -287,11 +354,12 @@ class MetricsRegistry:
         """A flat ``{name: number}`` view for benchmark snapshots.
 
         Counters and gauges contribute their value under their own name;
-        histograms contribute ``<name>.count`` and ``<name>.sum``;
-        time-weighted histograms contribute ``<name>.observations`` and
-        ``<name>.time_average``.  Keys are emitted in sorted order so the
-        serialization is byte-stable across identical runs, which is what
-        lets snapshot diffs flag real drift instead of dict-order noise.
+        histograms contribute ``<name>.count``, ``<name>.sum`` and the
+        ``<name>.p50/.p95/.p99`` percentiles; time-weighted histograms
+        contribute ``<name>.observations``, ``<name>.time_average`` and the
+        same (time-weighted) percentiles.  Keys are emitted in sorted order
+        so the serialization is byte-stable across identical runs, which is
+        what lets snapshot diffs flag real drift instead of dict-order noise.
         """
         out: dict[str, float] = {}
         for name in sorted(self._instruments):
@@ -301,9 +369,15 @@ class MetricsRegistry:
             elif instrument.kind == "histogram":
                 out[f"{name}.count"] = instrument.count
                 out[f"{name}.sum"] = instrument.total
+                out[f"{name}.p50"] = instrument.percentile(50)
+                out[f"{name}.p95"] = instrument.percentile(95)
+                out[f"{name}.p99"] = instrument.percentile(99)
             elif instrument.kind == "time_histogram":
                 out[f"{name}.observations"] = instrument.observations
                 out[f"{name}.time_average"] = instrument.time_average
+                out[f"{name}.p50"] = instrument.percentile(50)
+                out[f"{name}.p95"] = instrument.percentile(95)
+                out[f"{name}.p99"] = instrument.percentile(99)
         return out
 
     def __len__(self) -> int:
@@ -337,6 +411,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
 
     def to_dict(self) -> dict:
         return {}

@@ -42,6 +42,10 @@ exports and the critical-path profiler can aggregate across operations:
   counter at the remote task;
 * ``put-completion`` — the completion ack riding back to the origin;
 * ``flag-wakeup`` — a shared-flag store releasing a spinning waiter;
+* ``ring-signal`` — a ring protocol's FIFO-chained arrival signal landing:
+  issued when the underlying put was injected, delivered when the signal
+  chain increments the neighbour's arrival counter (so ring waits are
+  attributable like direct counter puts);
 * ``put-flight`` — the synthetic phase the critical-path walker charges for
   the network time between a put's injection and its remote arrival.
 
@@ -79,10 +83,18 @@ __all__ = [
     "FLOW_PUT_COUNTER",
     "FLOW_PUT_COMPLETION",
     "FLOW_FLAG_WAKEUP",
+    "FLOW_RING_SIGNAL",
     "PUT_FLIGHT",
     "UNTRACKED",
     "WAIT_PHASES",
     "ALL_PHASES",
+    "WAIT_LATE_SENDER",
+    "WAIT_LATE_RELEASE",
+    "WAIT_BANDWIDTH_CONTENTION",
+    "WAIT_RESOURCE_QUEUEING",
+    "WAIT_DETECTION_ONLY",
+    "WAIT_UNATTRIBUTED",
+    "WAIT_STATES",
 ]
 
 # -- substrate phases -------------------------------------------------------
@@ -116,10 +128,50 @@ DISPATCH = "dispatch"
 FLOW_PUT_COUNTER = "put-counter"
 FLOW_PUT_COMPLETION = "put-completion"
 FLOW_FLAG_WAKEUP = "flag-wakeup"
+FLOW_RING_SIGNAL = "ring-signal"
 
 # -- synthetic critical-path buckets ---------------------------------------
 PUT_FLIGHT = "put-flight"
 UNTRACKED = "(untracked)"
+
+# -- wait-state taxonomy ----------------------------------------------------
+#
+# Every blocked interval (a closed span whose phase is in ``WAIT_PHASES``)
+# is classified by :mod:`repro.obs.waits` into exactly one of these states:
+#
+# * ``late-sender`` — the waiter blocked before the releasing put/store was
+#   even issued: the peer arrived late, not the fabric;
+# * ``late-release`` — the release was issued before (or as) the wait began
+#   but its delivery was delayed by transfer/fabric time;
+# * ``bandwidth-contention`` — a late release whose in-flight window mostly
+#   overlapped a saturated :class:`~repro.sim.resources.SharedBandwidth`
+#   link shared by >= 2 transfers (the memory bus or a NIC direction), or a
+#   linkless block spent under such saturation;
+# * ``resource-queueing`` — blocked (mostly) while queued behind a
+#   :class:`~repro.sim.resources.FifoResource` at capacity;
+# * ``detection-only`` — the wait was satisfied on entry (or instantly):
+#   the span covers only the spin-poll / yield detection tail;
+# * ``unattributed`` — none of the above explains the block (kept explicit
+#   so coverage is measurable: the verify quick grid must stay < 1% of the
+#   makespan unattributed).
+WAIT_LATE_SENDER = "late-sender"
+WAIT_LATE_RELEASE = "late-release"
+WAIT_BANDWIDTH_CONTENTION = "bandwidth-contention"
+WAIT_RESOURCE_QUEUEING = "resource-queueing"
+WAIT_DETECTION_ONLY = "detection-only"
+WAIT_UNATTRIBUTED = "unattributed"
+
+#: The closed vocabulary of wait-state classifications.
+WAIT_STATES = frozenset(
+    {
+        WAIT_LATE_SENDER,
+        WAIT_LATE_RELEASE,
+        WAIT_BANDWIDTH_CONTENTION,
+        WAIT_RESOURCE_QUEUEING,
+        WAIT_DETECTION_ONLY,
+        WAIT_UNATTRIBUTED,
+    }
+)
 
 #: Phases whose time means "blocked on someone else": the critical-path
 #: walker follows the releasing flow link out of these.

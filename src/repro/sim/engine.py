@@ -59,6 +59,9 @@ class Engine:
         #: Fault-injection plan (:class:`repro.verify.faults.FaultPlan`)
         #: consulted by the substrate layers; ``None`` disables all faults.
         self.faults: typing.Any = None
+        #: Resource-occupancy monitor (:class:`repro.obs.monitor.ResourceMonitor`)
+        #: consulted by the contention resources; ``None`` disables recording.
+        self.monitor: typing.Any = None
         # Weak registry of every process started on this engine, kept so a
         # deadlock can name who is still blocked and on what.
         self._processes: list[weakref.ref] = []

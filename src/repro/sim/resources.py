@@ -40,6 +40,18 @@ class FifoResource:
         self.name = name
         self._in_use = 0
         self._waiting: list[Event] = []
+        monitor = engine.monitor
+        self._timeline = monitor.register(name, "fifo") if monitor is not None else None
+
+    def _record(self) -> None:
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.record(
+                self.engine.now,
+                self._in_use,
+                len(self._waiting),
+                self._in_use >= self.capacity,
+            )
 
     @property
     def in_use(self) -> int:
@@ -59,6 +71,7 @@ class FifoResource:
             grant.succeed()
         else:
             self._waiting.append(grant)
+        self._record()
         return grant
 
     def release(self) -> None:
@@ -69,6 +82,7 @@ class FifoResource:
             self._waiting.pop(0).succeed()
         else:
             self._in_use -= 1
+        self._record()
 
     def use(self, duration: float) -> typing.Generator[Event, typing.Any, None]:
         """Hold one slot for ``duration`` simulated seconds (``yield from``)."""
@@ -113,6 +127,10 @@ class SharedBandwidth:
         self._wake_version = 0
         #: Total bytes ever completed through this link (for audits/tests).
         self.bytes_transferred = 0.0
+        monitor = engine.monitor
+        self._timeline = (
+            monitor.register(name, "bandwidth") if monitor is not None else None
+        )
 
     @property
     def active_transfers(self) -> int:
@@ -181,9 +199,17 @@ class SharedBandwidth:
     def _reschedule(self) -> None:
         """(Re)arm the wake-up for the earliest upcoming completion."""
         self._wake_version += 1
+        timeline = self._timeline
         if not self._active:
+            if timeline is not None:
+                timeline.record(self.engine.now, 0, 0, False)
             return
         allocations = self._allocations()
+        if timeline is not None:
+            # Saturated: the water-filling pass spent the whole link rate,
+            # so at least one transfer's share is squeezed below its cap.
+            saturated = sum(allocations.values()) >= self.rate * (1.0 - 1e-9)
+            timeline.record(self.engine.now, len(self._active), 0, saturated)
         next_completion = min(
             transfer.remaining / allocations[transfer_id]
             for transfer_id, transfer in self._active.items()
@@ -214,6 +240,15 @@ class Gate:
         self.name = name
         self._open = bool(open)
         self._waiting: list[Event] = []
+        monitor = engine.monitor
+        self._timeline = monitor.register(name, "gate") if monitor is not None else None
+
+    def _record(self) -> None:
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.record(
+                self.engine.now, 1 if self._open else 0, len(self._waiting), False
+            )
 
     @property
     def is_open(self) -> bool:
@@ -226,6 +261,7 @@ class Gate:
             passed.succeed()
         else:
             self._waiting.append(passed)
+            self._record()
         return passed
 
     def open(self) -> None:
@@ -234,7 +270,9 @@ class Gate:
         waiting, self._waiting = self._waiting, []
         for event in waiting:
             event.succeed()
+        self._record()
 
     def close(self) -> None:
         """Close the gate for future waiters."""
         self._open = False
+        self._record()

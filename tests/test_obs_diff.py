@@ -1,0 +1,167 @@
+"""Tests for differential trace analysis (repro.obs.diff)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import build
+from repro.machine import ClusterSpec
+from repro.mpi.ops import SUM
+from repro.obs.diff import (
+    WaitDelta,
+    capture_profile,
+    diff_cells,
+    diff_profiles,
+    format_diff,
+)
+
+
+def profile(us, phases=None, waits=None):
+    return {
+        "microseconds": us,
+        "critical_path": {"phases_us": phases or {}},
+        "wait_states": waits or {},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Alignment and attribution
+# ---------------------------------------------------------------------------
+
+
+def test_regression_headline_names_grown_wait_bucket():
+    base = profile(100.0, {"ring-step": 60.0},
+                   {"late-sender|ring-step|-": 30.0})
+    cand = profile(110.0, {"ring-step": 70.0},
+                   {"late-sender|ring-step|-": 25.0,
+                    "bandwidth-contention|ring-step|bus[0]": 15.0})
+    diff = diff_profiles(base, cand, label="allreduce srm")
+    assert diff.delta_us == pytest.approx(10.0)
+    assert diff.ratio == pytest.approx(1.1)
+    wait = diff.dominant_wait()
+    assert wait is not None
+    assert wait.state == "bandwidth-contention"
+    assert wait.resource == "bus[0]"
+    line = diff.headline()
+    assert "regressed +10.0%" in line
+    assert "+15.0us of bandwidth-contention on bus[0] during ring-step" in line
+
+
+def test_improvement_headline_names_shrunk_bucket():
+    base = profile(100.0, waits={"late-release|ring-step|-": 40.0})
+    cand = profile(80.0, waits={"late-release|ring-step|-": 18.0})
+    line = diff_profiles(base, cand).headline()
+    assert "improved -20.0%" in line
+    assert "-22.0us of late-release during ring-step" in line
+
+
+def test_unchanged_runs_have_no_dominant_entries():
+    base = profile(100.0, {"shm-copy": 100.0}, {"late-sender|-|-": 5.0})
+    diff = diff_profiles(base, dict(base))
+    assert diff.dominant_wait() is None
+    assert diff.dominant_phase() is None
+    assert "unchanged" in diff.headline()
+    assert "no phase or wait-state movement" in format_diff(diff)
+
+
+def test_regression_without_wait_movement_falls_back_to_phase():
+    base = profile(100.0, {"shm-copy": 100.0})
+    cand = profile(120.0, {"shm-copy": 120.0})
+    line = diff_profiles(base, cand).headline()
+    assert "+20.0us of shm-copy on the critical path" in line
+
+
+def test_wait_delta_label_skips_placeholder_parts():
+    full = WaitDelta("bandwidth-contention", "ring-step", "bus[0]", 0.0, 1.0)
+    assert full.label == "bandwidth-contention on bus[0] during ring-step"
+    bare = WaitDelta("late-sender", "-", "-", 0.0, 1.0)
+    assert bare.label == "late-sender"
+
+
+def test_deltas_sorted_largest_growth_first():
+    base = profile(100.0, waits={"a|x|-": 10.0, "b|y|-": 10.0})
+    cand = profile(130.0, waits={"a|x|-": 30.0, "b|y|-": 5.0, "c|z|-": 15.0})
+    diff = diff_profiles(base, cand)
+    assert [w.state for w in diff.waits] == ["a", "c", "b"]
+
+
+def test_to_dict_is_sorted_and_serializable():
+    base = profile(100.0, {"b": 2.0, "a": 1.0}, {"z|x|-": 1.0, "a|y|-": 2.0})
+    cand = profile(150.0, {"a": 51.0, "b": 2.0}, {"z|x|-": 40.0})
+    data = diff_profiles(base, cand, label="cell").to_dict()
+    json.dumps(data)
+    assert list(data["phases_us"]) == sorted(data["phases_us"])
+    assert list(data["wait_states_us"]) == sorted(data["wait_states_us"])
+    assert data["headline"].startswith("cell:")
+    # Dropped buckets still appear, with candidate 0.
+    assert data["wait_states_us"]["a|y|-"] == {"baseline": 2.0, "candidate": 0.0}
+
+
+def test_zero_baseline_ratio_edge_cases():
+    assert diff_profiles(profile(0.0), profile(0.0)).ratio == 1.0
+    assert diff_profiles(profile(0.0), profile(5.0)).ratio == float("inf")
+
+
+def test_missing_critical_path_diffs_as_empty():
+    diff = diff_profiles({"microseconds": 10.0, "critical_path": None},
+                         {"microseconds": 12.0})
+    assert diff.phases == []
+    assert diff.delta_us == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Live captures and cell diffs
+# ---------------------------------------------------------------------------
+
+
+def run_allreduce():
+    machine, stack = build("srm", ClusterSpec(nodes=2, tasks_per_node=2))
+    total = machine.spec.total_tasks
+    sources = {r: np.full(512, float(r + 1)) for r in range(total)}
+    outs = {r: np.zeros(512) for r in range(total)}
+
+    def program(task):
+        yield from stack.allreduce(task, sources[task.rank], outs[task.rank], SUM)
+
+    result = machine.launch(program)
+    return machine, result
+
+
+def test_capture_profile_has_snapshot_cell_shape():
+    machine, result = run_allreduce()
+    data = capture_profile(machine, result.start_time, result.end_time)
+    assert data["microseconds"] == pytest.approx(result.elapsed * 1e6)
+    assert data["critical_path"]["phases_us"]
+    assert data["wait_states"]
+    json.dumps(data)
+
+
+def test_capture_profile_self_diff_is_unchanged():
+    machine, result = run_allreduce()
+    data = capture_profile(machine, result.start_time, result.end_time)
+    diff = diff_profiles(data, data)
+    assert diff.delta_us == pytest.approx(0.0)
+    assert "unchanged" in diff.headline()
+
+
+def test_diff_cells_labels_from_grid_key():
+    base = profile(100.0)
+    cand = profile(120.0)
+    for cell in (base, cand):
+        cell.update(operation="allreduce", stack="srm", nbytes=65536, nodes=8)
+    diff = diff_cells(base, cand)
+    assert diff.label == "allreduce srm 64KB x8 nodes"
+    assert diff.label in diff.headline()
+
+
+def test_format_diff_renders_movement_tables():
+    base = profile(100.0, {"ring-step": 50.0},
+                   {"late-release|ring-step|-": 20.0})
+    cand = profile(140.0, {"ring-step": 90.0},
+                   {"late-release|ring-step|-": 55.0})
+    text = format_diff(diff_profiles(base, cand))
+    assert "critical path:" in text
+    assert "wait states:" in text
+    assert "ring-step" in text
+    assert "late-release during ring-step" in text

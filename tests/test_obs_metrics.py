@@ -77,6 +77,81 @@ def test_time_weighted_histogram_exact_average():
     assert data["observations"] == 2
 
 
+def test_histogram_percentiles_interpolate_and_clamp():
+    hist = Histogram("h")
+    for _ in range(99):
+        hist.observe(4)
+    hist.observe(1024)
+    # The 4s bucket covers (2, 4]; interpolation stays clamped to min=4.
+    assert hist.percentile(50) == 4
+    assert hist.percentile(99) == 4
+    assert hist.percentile(100) == 1024
+    assert hist.percentile(50) <= hist.percentile(95) <= hist.percentile(99)
+
+
+def test_histogram_single_value_percentiles_are_exact():
+    hist = Histogram("h")
+    hist.observe(7)
+    for q in (0, 50, 95, 99, 100):
+        assert hist.percentile(q) == 7
+
+
+def test_empty_histogram_percentiles_are_zero():
+    hist = Histogram("h")
+    assert hist.percentile(50) == 0.0
+    data = hist.to_dict()
+    assert data["p50"] == 0.0 and data["p95"] == 0.0 and data["p99"] == 0.0
+
+
+def test_percentile_out_of_range_rejected():
+    hist = Histogram("h")
+    hist.observe(1)
+    with pytest.raises(ConfigurationError):
+        hist.percentile(-1)
+    with pytest.raises(ConfigurationError):
+        hist.percentile(101)
+
+
+def test_histogram_to_dict_includes_percentiles():
+    hist = Histogram("h")
+    hist.observe(16)
+    data = hist.to_dict()
+    assert data["p50"] == 16 and data["p95"] == 16 and data["p99"] == 16
+
+
+def test_time_weighted_percentiles_weight_by_held_time():
+    clock = {"now": 0.0}
+    hist = TimeWeightedHistogram("t", clock=lambda: clock["now"])
+    hist.observe(2)  # held over [0, 10)
+    clock["now"] = 10.0
+    hist.observe(8)  # held over [10, 20) — the open interval must count
+    clock["now"] = 20.0
+    # 2 for half the time: the median is 2; the tail interpolates in (4, 8].
+    assert hist.percentile(50) == pytest.approx(2.0)
+    assert hist.percentile(95) == pytest.approx(7.6)
+    assert hist.percentile(99) == pytest.approx(7.92)
+    data = hist.to_dict()
+    assert data["p50"] == pytest.approx(2.0)
+
+
+def test_time_weighted_percentile_empty_is_zero():
+    assert TimeWeightedHistogram("t").percentile(99) == 0.0
+
+
+def test_registry_summary_includes_percentiles():
+    clock = {"now": 0.0}
+    registry = MetricsRegistry(clock=lambda: clock["now"])
+    registry.histogram("sizes").observe(5)
+    registry.time_histogram("depth").observe(3)
+    clock["now"] = 4.0
+    summary = registry.summary()
+    assert summary["sizes.p50"] == 5
+    assert summary["sizes.p95"] == 5
+    assert summary["sizes.p99"] == 5
+    assert summary["depth.p50"] == 3
+    assert {"depth.p95", "depth.p99"} <= set(summary)
+
+
 def test_registry_get_or_create_is_idempotent():
     registry = MetricsRegistry()
     first = registry.counter("x")
@@ -114,6 +189,7 @@ def test_null_registry_is_inert():
     hist = registry.histogram("h")
     hist.observe(5)
     assert hist.count == 0
+    assert hist.percentile(99) == 0.0
     # All kinds share the single no-op instrument; nothing is registered.
     assert registry.gauge("g") is counter
     assert registry.time_histogram("t") is counter

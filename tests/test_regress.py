@@ -4,9 +4,13 @@ import copy
 
 import pytest
 
+import json
+
 from repro.bench.regress import (
+    DIFF_KIND,
     SchemaMismatchError,
     compare_snapshots,
+    diff_document,
     format_report,
 )
 from repro.bench.snapshot import SCHEMA_VERSION, SNAPSHOT_KIND, write_snapshot
@@ -15,7 +19,7 @@ from repro.errors import ConfigurationError
 
 
 def make_cell(operation="allreduce", stack="srm", nbytes=1024, nodes=2,
-              us=100.0, phases=None):
+              us=100.0, phases=None, waits=None):
     critical = None
     if phases is not None:
         critical = {
@@ -35,6 +39,7 @@ def make_cell(operation="allreduce", stack="srm", nbytes=1024, nodes=2,
         "microseconds": us,
         "metrics": {},
         "critical_path": critical,
+        "wait_states": waits or {},
     }
 
 
@@ -103,6 +108,62 @@ def test_regression_without_phase_data_still_fails():
     report = compare_snapshots(base, cand)
     assert not report.ok
     assert report.regressions[0].dominant_phase is None
+
+
+def test_regression_names_dominant_wait_state_and_resource():
+    base = make_snapshot([make_cell(
+        us=100.0, phases=BASE_PHASES,
+        waits={"late-release|ring-step|-": 40.0},
+    )])
+    cand = make_snapshot([make_cell(
+        us=200.0, phases={"counter-wait": 160.0, "smp-reduce": 40.0},
+        waits={"late-release|ring-step|-": 30.0,
+               "bandwidth-contention|ring-step|bus[0]": 120.0},
+    )])
+    report = compare_snapshots(base, cand)
+    [cell] = report.regressions
+    assert cell.dominant_wait == "bandwidth-contention on bus[0] during ring-step"
+    assert cell.wait_delta_us == pytest.approx(120.0)
+    text = format_report(report)
+    # The wait-state attribution outranks the phase fallback in the report.
+    assert "-- +120.0 us of bandwidth-contention on bus[0] during ring-step" in text
+    assert "localized to" not in text
+
+
+def test_regression_without_wait_growth_keeps_phase_attribution():
+    base = make_snapshot([make_cell(us=100.0, phases=BASE_PHASES,
+                                    waits={"late-sender|-|-": 50.0})])
+    cand = make_snapshot(
+        [make_cell(us=200.0, phases={"counter-wait": 160.0, "smp-reduce": 40.0},
+                   waits={"late-sender|-|-": 50.0})]
+    )
+    report = compare_snapshots(base, cand)
+    [cell] = report.regressions
+    assert cell.dominant_wait is None
+    assert "localized to counter-wait" in format_report(report)
+
+
+def test_diff_document_covers_every_moved_cell():
+    unchanged = make_cell(nbytes=512, phases=BASE_PHASES)
+    base = make_snapshot([make_cell(us=100.0, phases=BASE_PHASES,
+                                    waits={"late-sender|-|-": 20.0}),
+                          unchanged])
+    cand = make_snapshot([make_cell(us=200.0, phases=BASE_PHASES,
+                                    waits={"late-sender|-|-": 130.0}),
+                          copy.deepcopy(unchanged)], label="head")
+    report = compare_snapshots(base, cand)
+    document = diff_document(base, cand, report)
+    json.dumps(document)
+    assert document["kind"] == DIFF_KIND
+    assert document["baseline_label"] == "base"
+    assert document["candidate_label"] == "head"
+    assert document["ok"] is False
+    assert document["compared"] == 2
+    # Only the moved cell is analyzed; the identical one is skipped.
+    [entry] = document["cells"]
+    assert entry["key"] == ["allreduce", "srm", 1024, 2]
+    assert entry["status"] == "regression"
+    assert "+110.0us of late-sender" in entry["headline"]
 
 
 def test_improvement_passes():
@@ -192,6 +253,49 @@ def test_cli_regress_injected_slowdown_exits_nonzero(tmp_path, capsys):
     assert "REGRESSION allreduce srm 1KB x2 nodes" in out
     # The dominant critical-path phase is always named for SRM cells.
     assert "counter-wait" in out
+
+
+def test_cli_regress_diff_out_writes_artifact(tmp_path, capsys):
+    base = make_snapshot([make_cell(us=100.0, phases=BASE_PHASES,
+                                    waits={"late-sender|-|-": 20.0})])
+    cand = make_snapshot([make_cell(us=200.0, phases=BASE_PHASES,
+                                    waits={"late-sender|-|-": 140.0})])
+    base_path, cand_path = write_pair(tmp_path, base, cand)
+    diff_path = tmp_path / "DIFF.json"
+    code = main(["regress", "--baseline", base_path, "--candidate", cand_path,
+                 "--diff-out", str(diff_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert f"wrote differential trace analysis to {diff_path}" in out
+    document = json.loads(diff_path.read_text())
+    assert document["kind"] == DIFF_KIND
+    assert document["cells"][0]["status"] == "regression"
+
+
+def test_cli_regress_trace_out_skipped_without_regressions(tmp_path, capsys):
+    base = make_snapshot([make_cell(phases=BASE_PHASES)])
+    base_path, cand_path = write_pair(tmp_path, base, copy.deepcopy(base))
+    trace_path = tmp_path / "TRACE.json"
+    code = main(["regress", "--baseline", base_path, "--candidate", cand_path,
+                 "--trace-out", str(trace_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no regressions; skipping --trace-out" in out
+    assert not trace_path.exists()
+
+
+def test_cli_regress_trace_out_rebuilds_worst_cell(tmp_path, capsys):
+    base = make_snapshot([make_cell(us=100.0, phases=BASE_PHASES)])
+    cand = make_snapshot([make_cell(us=250.0, phases=BASE_PHASES)])
+    base_path, cand_path = write_pair(tmp_path, base, cand)
+    trace_path = tmp_path / "TRACE.json"
+    code = main(["regress", "--baseline", base_path, "--candidate", cand_path,
+                 "--trace-out", str(trace_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "wrote Perfetto trace of worst regression" in out
+    events = json.loads(trace_path.read_text())
+    assert any(event.get("cat") == "phase" for event in events)
 
 
 def test_cli_regress_update_rewrites_baseline(tmp_path, capsys):

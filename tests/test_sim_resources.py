@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import SimulationError
+from repro.obs.monitor import ResourceMonitor, ResourceSample
 from repro.sim import Engine, FifoResource, Gate, SharedBandwidth
+
+
+def monitored_engine():
+    engine = Engine()
+    engine.monitor = ResourceMonitor(engine)
+    return engine
 
 
 # ---------------------------------------------------------------------------
@@ -190,6 +197,153 @@ def test_sequential_transfers_reuse_link_cleanly():
     mid, end = engine.run(until=engine.process(program()))
     assert mid == pytest.approx(1.0)
     assert end == pytest.approx(2.0)
+
+
+def test_water_filling_fairness_under_mixed_caps():
+    # Rate 100 split over caps [10, inf, inf]: the capped transfer takes its
+    # 10, the two uncapped ones share the remaining 90 equally.
+    engine = Engine()
+    link = SharedBandwidth(engine, rate=100.0)
+    link.transfer(1000.0, max_rate=10.0)
+    link.transfer(1000.0)
+    link.transfer(1000.0)
+    assert sorted(link._allocations().values()) == pytest.approx([10.0, 45.0, 45.0])
+
+
+def test_water_filling_pays_tight_caps_first():
+    engine = Engine()
+    link = SharedBandwidth(engine, rate=100.0)
+    link.transfer(1000.0, max_rate=10.0)
+    link.transfer(1000.0, max_rate=20.0)
+    link.transfer(1000.0)
+    # Caps below the equal share are paid out in full; the uncapped transfer
+    # absorbs everything they leave on the table (not just 100/3).
+    assert sorted(link._allocations().values()) == pytest.approx([10.0, 20.0, 70.0])
+
+
+def test_mixed_cap_transfers_complete_at_fair_share_times():
+    engine = Engine()
+    link = SharedBandwidth(engine, rate=100.0)
+    done = [
+        link.transfer(20.0, max_rate=10.0),  # 20 bytes at 10 B/s -> t=2
+        link.transfer(90.0),                 # 90 bytes at 45 B/s -> t=2
+        link.transfer(90.0),
+    ]
+    engine.run(until=engine.all_of(done))
+    assert engine.now == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Occupancy timelines (ResourceMonitor hooks)
+# ---------------------------------------------------------------------------
+
+
+def test_fifo_timeline_tracks_queue_depth_through_request_release():
+    engine = monitored_engine()
+    resource = FifoResource(engine, capacity=1, name="dma")
+
+    def worker(hold):
+        yield resource.request()
+        yield engine.timeout(hold)
+        resource.release()
+
+    for _ in range(3):
+        engine.process(worker(1.0))
+    engine.run()
+    timeline = engine.monitor.get("dma")
+    assert timeline.kind == "fifo"
+    # Three simultaneous requests at t=0 coalesce into one sample; each
+    # release pops exactly one waiter; the final release idles the slot.
+    assert timeline.samples == [
+        ResourceSample(0.0, 1, 2, True),
+        ResourceSample(1.0, 1, 1, True),
+        ResourceSample(2.0, 1, 0, True),
+        ResourceSample(3.0, 0, 0, False),
+    ]
+    assert timeline.max_occupancy() == 1
+    assert timeline.max_queued() == 2
+    assert timeline.queued_seconds(0.0, 3.0) == pytest.approx(2.0)
+    # A single-slot resource is never *contended* (needs >= 2 sharers).
+    assert timeline.contended_seconds(0.0, 3.0) == 0.0
+
+
+def test_fifo_use_releases_on_exception():
+    engine = monitored_engine()
+    resource = FifoResource(engine, capacity=1, name="dma")
+    holder = resource.use(5.0)
+    grant = next(holder)
+    assert grant.triggered and resource.in_use == 1
+    holder.send(None)  # advance past the grant, into the timed hold
+    # An exception thrown into the holding generator must still release.
+    with pytest.raises(RuntimeError):
+        holder.throw(RuntimeError("interrupted"))
+    assert resource.in_use == 0
+    timeline = engine.monitor.get("dma")
+    assert timeline.samples[-1] == ResourceSample(0.0, 0, 0, False)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_bandwidth_timeline_saturation_requires_full_rate():
+    engine = monitored_engine()
+    link = SharedBandwidth(engine, rate=100.0, name="bus")
+    done = [link.transfer(20.0, max_rate=10.0), link.transfer(90.0)]
+    engine.run(until=engine.all_of(done))
+    timeline = engine.monitor.get("bus")
+    assert timeline.kind == "bandwidth"
+    # 10 + 90 consumes the whole link: saturated with two sharers until the
+    # uncapped transfer drains at t=1, then the capped one runs alone (10 of
+    # 100 B/s — not saturated) until t=2.
+    assert timeline.samples == [
+        ResourceSample(0.0, 2, 0, True),
+        ResourceSample(1.0, 1, 0, False),
+        ResourceSample(2.0, 0, 0, False),
+    ]
+    assert timeline.contended_seconds(0.0, 2.0) == pytest.approx(1.0)
+
+
+def test_bandwidth_timeline_undersubscribed_caps_not_saturated():
+    # Two sharers whose caps sum below the link rate: occupancy 2 but the
+    # link is NOT saturated — no false bandwidth-contention signal.
+    engine = monitored_engine()
+    link = SharedBandwidth(engine, rate=100.0, name="bus")
+    done = [link.transfer(10.0, max_rate=10.0), link.transfer(10.0, max_rate=10.0)]
+    engine.run(until=engine.all_of(done))
+    timeline = engine.monitor.get("bus")
+    assert timeline.samples[0] == ResourceSample(0.0, 2, 0, False)
+    assert timeline.contended_seconds(0.0, 1.0) == 0.0
+
+
+def test_gate_timeline_records_parked_waiters():
+    engine = monitored_engine()
+    gate = Gate(engine, name="intr")
+
+    def waiter():
+        yield gate.wait()
+
+    def opener():
+        yield engine.timeout(3.0)
+        gate.open()
+
+    engine.process(waiter())
+    engine.process(opener())
+    engine.run()
+    timeline = engine.monitor.get("intr")
+    assert timeline.kind == "gate"
+    assert timeline.samples == [
+        ResourceSample(0.0, 0, 1, False),
+        ResourceSample(3.0, 1, 0, False),
+    ]
+    assert timeline.queued_seconds(0.0, 3.0) == pytest.approx(3.0)
+
+
+def test_unmonitored_resources_record_nothing():
+    engine = Engine()
+    resource = FifoResource(engine, capacity=1, name="dma")
+    resource.request()
+    resource.release()
+    assert engine.monitor is None
+    assert resource._timeline is None
 
 
 # ---------------------------------------------------------------------------
