@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 import typing
 
-__all__ = ["ascii_chart", "Series"]
+__all__ = ["ascii_chart", "calibration_scatter", "Series"]
 
 #: One plotted curve: a label, a glyph, and (x, y) points.
 Series = tuple[str, str, list[tuple[float, float]]]
@@ -90,3 +90,48 @@ def ascii_chart(
     legend = "   ".join(f"{glyph}={label}" for label, glyph, _data in series)
     lines.append(" " * (margin + 1) + legend)
     return "\n".join(lines)
+
+
+#: Scatter glyph per operation (falls back to the op's first letter).
+_SCATTER_GLYPHS = {"allgather": "g", "allreduce": "a", "broadcast": "b", "reduce": "r"}
+
+
+def calibration_scatter(document: typing.Mapping[str, typing.Any]) -> str:
+    """Predicted-vs-measured scatter from a ``repro calibrate`` report.
+
+    Every measured (variant, size, nodes) candidate becomes one point —
+    measured latency on the x axis, the cost hook's analytic prediction on
+    the y axis — glyphed per operation, with the ``predicted = measured``
+    diagonal dotted in for reference.  Points above the diagonal are
+    overpredictions; the vertical spread is exactly the model error the
+    report's ``model_error`` section quantifies per term.
+    """
+    by_op: dict[str, list[tuple[float, float]]] = {}
+    for cell in document["cells"]:
+        for entry in cell["variants"].values():
+            measured = entry["measured_us"]
+            predicted = entry["predicted_us"]
+            if measured is None or measured <= 0 or predicted <= 0:
+                continue
+            by_op.setdefault(cell["operation"], []).append((measured, predicted))
+    points = [value for data in by_op.values() for point in data for value in point]
+    if not points:
+        return "calibration scatter: no measured cells"
+    low, high = min(points), max(points)
+    steps = 24
+    if high > low:
+        ratio = (high / low) ** (1 / (steps - 1))
+        diagonal = [(low * ratio**i,) * 2 for i in range(steps)]
+    else:
+        diagonal = [(low, low)]
+    series: list[Series] = [("predicted=measured", ".", diagonal)]
+    series += [
+        (op, _SCATTER_GLYPHS.get(op, op[:1]), data)
+        for op, data in sorted(by_op.items())
+    ]
+    return ascii_chart(
+        f"predicted vs measured latency [{document.get('label', 'calibration')}]",
+        series,
+        x_label="measured us",
+        y_label="predicted us",
+    )

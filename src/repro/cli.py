@@ -42,6 +42,14 @@ Artifacts are byte-identical at any ``--jobs`` setting.
     Race every registered algorithm variant over the bench grid and write
     the per-cell winners as a ``TunedPolicy`` decision table
     (``SRM(machine, policy=TunedPolicy.load("TUNED.json"))``).
+``calibrate [-o CALIB_report.json] [--quick] [--jobs N]``
+    Pair every variant's analytic cost prediction with its measured latency
+    across the grid (the ``tune`` race machinery), then score the
+    paper/cost/tuned/fixed dispatch policies by selection regret vs
+    best-in-hindsight.  Writes a schema-v1 ``repro-calibration-report``
+    with per-term model-error attribution and §2.4 crossover checks, and
+    prints the predicted-vs-measured scatter plus the headline findings
+    (see ``repro.obs.calib``).
 ``verify [--schedules N] [--explorer random|dfs] [--quick] [--smoke]``
     Explore many legal event interleavings of every SRM collective on a
     small-config grid, checking protocol invariants (read-before-READY,
@@ -319,6 +327,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             wait_rows,
         )
 
+    summary = machine.obs.metrics.summary()
+    dispatch_rows = []
+    for key in sorted(summary):
+        if key.startswith("dispatch.") and key != "dispatch.fallbacks":
+            _prefix, op, variant = key.split(".", 2)
+            dispatch_rows.append([op, variant, str(int(summary[key]))])
+    if dispatch_rows:
+        fallbacks = int(summary.get("dispatch.fallbacks", 0))
+        print_table(
+            f"dispatch selections ({fallbacks} fallbacks)",
+            ["operation", "variant", "calls"],
+            dispatch_rows,
+        )
+
     print(f"\ntop {args.top} critical-path segments:")
     for segment in path.top(args.top):
         print(
@@ -472,6 +494,35 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     else:
         print(
             f"wrote {decided} decisions to {args.out} "
+            f"(schema v{document['schema_version']}, identity {document['fingerprint']})"
+        )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.bench.figures import calibration_scatter
+    from repro.obs.calib import run_calibrate
+
+    operations = tuple(op.strip() for op in args.ops.split(",") if op.strip())
+    progress = None
+    if not args.quiet and args.out != "-":
+        progress = lambda text: print(f"  calibrate {text}", flush=True)  # noqa: E731
+    document = run_calibrate(
+        out=args.out,
+        quick=args.quick,
+        operations=operations or None,
+        label=args.label,
+        progress=progress,
+        jobs=args.jobs,
+        tuned_table=args.tuned_table,
+    )
+    if args.out != "-":
+        print(calibration_scatter(document))
+        print()
+        for line in document["headlines"]:
+            print(f"  {line}")
+        print(
+            f"wrote calibration report to {args.out} "
             f"(schema v{document['schema_version']}, identity {document['fingerprint']})"
         )
     return 0
@@ -832,6 +883,29 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     tune.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
     add_jobs(tune)
     tune.set_defaults(handler=_cmd_tune)
+
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="pair predicted vs measured costs; score dispatch policies by regret",
+    )
+    calibrate.add_argument(
+        "-o", "--out", default="CALIB_report.json",
+        help="calibration-report path ('-' = stdout)",
+    )
+    calibrate.add_argument("--label", default="calibration", help="label stored in the report")
+    calibrate.add_argument("--ops", default="broadcast,reduce,allreduce,allgather")
+    calibrate.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized micro-grid that still spans the 8KB/16KB §2.4 switch points",
+    )
+    calibrate.add_argument(
+        "--tuned-table", default=None, metavar="FILE",
+        help="score this measured decision table as the 'tuned' policy "
+        "(default: the grid's own best-in-hindsight winners)",
+    )
+    calibrate.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    add_jobs(calibrate)
+    calibrate.set_defaults(handler=_cmd_calibrate)
 
     verify = commands.add_parser(
         "verify", help="explore schedules and check protocol invariants"

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import SRMConfig
 from repro.errors import ConfigurationError
+from repro.obs.calib import DecisionRecord
 from repro.obs.taxonomy import DISPATCH
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -69,6 +70,8 @@ __all__ = [
     "TunedPolicy",
     "FixedPolicy",
     "Dispatcher",
+    "lookup_variant",
+    "predict_terms",
     "TUNED_TABLE_KIND",
     "TUNED_TABLE_SCHEMA_VERSION",
 ]
@@ -122,6 +125,10 @@ class Variant:
     #: structurally applicable at ``nbytes`` (the tuner uses it to probe
     #: beyond the default capacity thresholds).
     tune_config: typing.Callable[[SRMConfig, int], SRMConfig] | None = None
+    #: Human-readable statement of the structural precondition behind
+    #: ``applicable`` — surfaced as the reason in fallback marker spans.
+    #: Empty for unconditionally applicable variants.
+    requires: str = ""
 
     def __repr__(self) -> str:
         return f"<Variant {self.op}/{self.name}>"
@@ -250,6 +257,7 @@ for _op in ("broadcast", "reduce"):
             applicable=_fits_shared_buffer,
             cost=_bcast_small_cost,
             tune_config=_raise_small_protocol,
+            requires="message fits one shared-buffer chunk",
         )
     )
     register_variant(
@@ -305,6 +313,7 @@ register_variant(
         tune_config=lambda config, nbytes: config.evolve(
             allreduce_exchange_max=max(config.allreduce_exchange_max, nbytes)
         ),
+        requires="message fits the exchange staging buffers (allreduce_exchange_max)",
     )
 )
 register_variant(
@@ -325,6 +334,7 @@ register_variant(
         # (§3), so require 8 bytes per participating node.
         applicable=lambda env: env.nodes > 1 and env.nbytes >= 8 * env.nodes,
         cost=_allreduce_ring_cost,
+        requires=">1 node and >= one 8-byte element per ring segment",
     )
 )
 
@@ -361,6 +371,7 @@ register_variant(
         tune_config=lambda config, nbytes: config.evolve(
             allgather_ring_min=min(config.allgather_ring_min, max(1, nbytes - 1))
         ),
+        requires=">1 node (a single-node ring has no masters to rotate)",
     )
 )
 
@@ -429,6 +440,36 @@ for _tree_op in ("inter-tree", "intra-reduce-tree"):
             cost=_tree_cost(lambda k: max(0, k - 1)),
         )
     )
+
+
+def predict_terms(entry: Variant, env: SelectionEnv) -> tuple[dict[str, float], float]:
+    """One variant's predicted cost, broken down per cost-model term.
+
+    Evaluates ``entry``'s cost hook against the cost model's
+    :meth:`~repro.machine.costmodel.CostModel.probe` — a facade whose
+    primitives return single-term :class:`~repro.machine.costmodel.CostTerms`
+    expressions instead of floats.  Because every registered hook is a
+    linear combination of those primitives, the expression algebra carries
+    each term's contribution through multiplications and sums symbolically:
+    no hook changes, and the breakdown's total equals the plain-float
+    estimate exactly (asserted over the whole registry by
+    ``tests/test_machine_costmodel.py``).
+
+    Returns ``(terms, total)`` in **seconds**: ``terms`` maps term names
+    (:data:`~repro.machine.costmodel.COST_TERMS`, plus ``"other"`` for any
+    constant contributions) to their share of the estimate.
+    """
+    from repro.machine.costmodel import CostModel, CostTerms
+
+    cost = env.cost
+    if cost is None:
+        cost = CostModel.ibm_sp_colony()
+    probe_env = SelectionEnv(
+        op=env.op, nbytes=env.nbytes, nodes=env.nodes, ppn=env.ppn,
+        config=env.config, cost=cost.probe(),
+    )
+    estimate = CostTerms.coerce(entry.cost(probe_env))
+    return estimate.as_dict(), estimate.total
 
 
 # ---------------------------------------------------------------------------
@@ -673,11 +714,37 @@ class TunedPolicy(SelectionPolicy):
 
     @classmethod
     def load(cls, path: str, fallback: SelectionPolicy | None = None) -> "TunedPolicy":
-        """Load a decision table emitted by ``python -m repro tune``."""
+        """Load a decision table emitted by ``python -m repro tune``.
+
+        Tables carry the cost-model identity fingerprint they were measured
+        under; when it differs from this build's fingerprint the table's
+        switch points are stale, so the load warns (naming both fingerprints
+        and the file) instead of silently proceeding.
+        """
         import json
 
         with open(path, "r", encoding="utf-8") as handle:
-            return cls(json.load(handle), fallback=fallback)
+            document = json.load(handle)
+        recorded = document.get("fingerprint")
+        if recorded is not None:
+            import warnings
+
+            from repro.bench.export import bench_identity, identity_fingerprint
+
+            identity = document.get("identity") or {}
+            live = identity_fingerprint(
+                bench_identity(tasks_per_node=identity.get("tasks_per_node", 16))
+            )
+            if live != recorded:
+                warnings.warn(
+                    f"tuned table {path!r} was measured under cost-model "
+                    f"fingerprint {recorded} but this build fingerprints as "
+                    f"{live}; its switch points may be stale — re-run "
+                    f"'python -m repro tune'",
+                    UserWarning,
+                    stacklevel=2,
+                )
+        return cls(document, fallback=fallback)
 
     def select(self, env: SelectionEnv) -> str:
         rows_by_nodes = self.table.get(env.op)
@@ -712,7 +779,9 @@ class Dispatcher:
         self.ctx = ctx
         self.policy = policy if policy is not None else PaperPolicy()
         self._paper = self.policy if isinstance(self.policy, PaperPolicy) else PaperPolicy()
-        self._cache: dict[tuple[str, int], tuple[Decision, typing.Any]] = {}
+        self._cache: dict[
+            tuple[str, int], tuple[Decision, typing.Any, DecisionRecord | None]
+        ] = {}
         metrics = ctx.machine.obs.metrics
         self._fallbacks = metrics.counter(
             "dispatch.fallbacks", "policy choices overridden as inapplicable"
@@ -734,15 +803,22 @@ class Dispatcher:
         key = (op, nbytes)
         cached = self._cache.get(key)
         if cached is not None:
-            decision, counter = cached
+            decision, counter, record = cached
             counter.inc()
+            if record is not None:
+                record.calls += 1
+                record.cache_hits += 1
             return decision
 
         env = self.env(op, nbytes)
         chosen = self.policy.select(env)
         entry = lookup_variant(op, chosen)
         fallback = False
+        fallback_from: str | None = None
+        reason = ""
         if not entry.applicable(env):
+            fallback_from = chosen
+            reason = entry.requires or "structurally inapplicable"
             chosen = self._paper.select(env)
             entry = lookup_variant(op, chosen)
             fallback = True
@@ -760,13 +836,49 @@ class Dispatcher:
             f"dispatch.{op}.{chosen}", f"calls dispatched to the {chosen} {op}"
         )
         counter.inc()
+        # Decision telemetry (one 'is None' test when observability is off):
+        # record the full prediction context — every registered variant's
+        # per-term cost breakdown — alongside what was chosen.  Purely
+        # passive: no metrics instruments, no simulated-time effects, so
+        # snapshots stay byte-identical with recording live.
+        record = None
+        decisions = self.ctx.machine.obs.decisions
+        if decisions is not None:
+            predictions: dict[str, dict] = {}
+            for candidate in variants_for(op):
+                terms_seconds, total_seconds = predict_terms(candidate, env)
+                predictions[candidate.name] = {
+                    "applicable": bool(candidate.applicable(env)),
+                    "total_us": total_seconds * 1e6,
+                    "terms_us": {
+                        term: seconds * 1e6
+                        for term, seconds in terms_seconds.items()
+                    },
+                }
+            record = decisions.record(
+                DecisionRecord(
+                    op=op,
+                    nbytes=nbytes,
+                    nodes=env.nodes,
+                    ppn=env.ppn,
+                    policy=self.policy.name,
+                    chosen=chosen,
+                    fallback=fallback,
+                    fallback_from=fallback_from,
+                    predictions=predictions,
+                )
+            )
         # Mark each *distinct* decision once in the trace: a zero-duration
-        # span whose detail names the selection, so exports and the profiler
-        # show which protocol ran without perturbing attribution.
+        # span whose detail names the selection — and, on fallback, the
+        # overridden choice with its inapplicability reason — so exports and
+        # the profiler show which protocol ran without perturbing attribution.
         if task is not None:
-            with task.phase(DISPATCH, detail=f"{op}/{chosen}:{nbytes}B"):
+            detail = f"{op}/{chosen}:{nbytes}B"
+            if fallback_from is not None:
+                detail += f" <- {fallback_from} inapplicable: {reason}"
+            with task.phase(DISPATCH, detail=detail):
                 pass
-        self._cache[key] = (decision, counter)
+        self._cache[key] = (decision, counter, record)
         return decision
 
     def tree_family(self, op: str) -> str:
@@ -778,7 +890,7 @@ class Dispatcher:
         """Resolved ``op/nbytes -> variant`` pairs so far (for reports)."""
         return {
             f"{op}:{nbytes}": decision.variant
-            for (op, nbytes), (decision, _counter) in sorted(self._cache.items())
+            for (op, nbytes), (decision, _counter, _record) in sorted(self._cache.items())
         }
 
     def __repr__(self) -> str:

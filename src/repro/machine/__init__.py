@@ -1,14 +1,23 @@
 """The simulated SMP cluster: topology, cost model, nodes, and tasks."""
 
 from repro.machine.cluster import LaunchResult, Machine, Node, Task
-from repro.machine.costmodel import CostModel, EagerLimitTable
+from repro.machine.costmodel import (
+    COST_TERMS,
+    CostModel,
+    CostTerms,
+    EagerLimitTable,
+    TermProbe,
+)
 from repro.machine.network import network_transfer
 from repro.machine.spec import ClusterSpec
 
 __all__ = [
+    "COST_TERMS",
     "ClusterSpec",
     "CostModel",
+    "CostTerms",
     "EagerLimitTable",
+    "TermProbe",
     "Machine",
     "Node",
     "Task",

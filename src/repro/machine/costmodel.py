@@ -21,17 +21,154 @@ simulator, not the authors' testbed); the parameters are chosen so that the
 
 from __future__ import annotations
 
+import math
 import typing
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
 
-__all__ = ["CostModel", "EagerLimitTable"]
+__all__ = [
+    "COST_TERMS",
+    "CostModel",
+    "CostTerms",
+    "EagerLimitTable",
+    "TermProbe",
+]
 
 
 KB = 1024
 MB = 1024 * 1024
 US = 1e-6  # one microsecond in seconds
+
+#: The canonical cost-term vocabulary of the breakdown API: every analytic
+#: latency estimate decomposes into these buckets (plus ``other`` for
+#: contributions a cost hook adds as plain floats).  ``copy`` is shared-memory
+#: movement (:meth:`CostModel.copy_time`), ``wire`` is network transfer
+#: (:meth:`CostModel.wire_time`), ``reduce`` is operator execution
+#: (:meth:`CostModel.reduce_time`), ``eager`` is the §2.3 eager/rendezvous
+#: protocol penalty (:meth:`CostModel.eager_time`).
+COST_TERMS = ("copy", "wire", "reduce", "eager")
+
+
+class CostTerms:
+    """A latency estimate kept as a linear combination of named cost terms.
+
+    :meth:`TermProbe.copy_time` and friends return ``CostTerms`` instead of
+    plain floats; the arithmetic the dispatch cost hooks already perform
+    (``depth * env.cost.wire_time(n) + smp_fanout``) then propagates the
+    per-term attribution for free — scaling multiplies every term, addition
+    merges term-wise.  ``float(terms)`` (or :attr:`total`) recovers the
+    scalar estimate, so a breakdown always sums to exactly the number
+    :class:`~repro.core.dispatch.CostModelPolicy` ranks variants by.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: typing.Mapping[str, float] | None = None) -> None:
+        self.terms: dict[str, float] = dict(terms or {})
+
+    @classmethod
+    def coerce(cls, value: typing.Any) -> "CostTerms":
+        """Lift a plain number (a hook that ignored the probe) into terms."""
+        if isinstance(value, CostTerms):
+            return value
+        number = float(value)
+        return cls({"other": number}) if number else cls()
+
+    @property
+    def total(self) -> float:
+        """The scalar estimate in seconds (the sum of every term)."""
+        return math.fsum(self.terms.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Term -> seconds, key-sorted (byte-stable serialization)."""
+        return {term: self.terms[term] for term in sorted(self.terms)}
+
+    # -- linear algebra over terms ---------------------------------------
+
+    def __add__(self, other: typing.Any) -> "CostTerms":
+        if isinstance(other, CostTerms):
+            merged = dict(self.terms)
+            for term, seconds in other.terms.items():
+                merged[term] = merged.get(term, 0.0) + seconds
+            return CostTerms(merged)
+        if isinstance(other, (int, float)):
+            if other == 0:
+                return self
+            merged = dict(self.terms)
+            merged["other"] = merged.get("other", 0.0) + float(other)
+            return CostTerms(merged)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __mul__(self, factor: typing.Any) -> "CostTerms":
+        if isinstance(factor, (int, float)):
+            return CostTerms(
+                {term: seconds * factor for term, seconds in self.terms.items()}
+            )
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __float__(self) -> float:
+        return self.total
+
+    def _value(self, other: typing.Any) -> float:
+        return other.total if isinstance(other, CostTerms) else float(other)
+
+    def __lt__(self, other: typing.Any) -> bool:
+        return self.total < self._value(other)
+
+    def __le__(self, other: typing.Any) -> bool:
+        return self.total <= self._value(other)
+
+    def __gt__(self, other: typing.Any) -> bool:
+        return self.total > self._value(other)
+
+    def __ge__(self, other: typing.Any) -> bool:
+        return self.total >= self._value(other)
+
+    def __repr__(self) -> str:
+        inside = ", ".join(
+            f"{term}={seconds:.3g}" for term, seconds in sorted(self.terms.items())
+        )
+        return f"<CostTerms total={self.total:.3g} {inside}>"
+
+
+class TermProbe:
+    """A :class:`CostModel` facade whose time queries return :class:`CostTerms`.
+
+    Hand one to a dispatch cost hook (``entry.cost(env)`` with
+    ``env.cost = model.probe()``) and the returned estimate arrives broken
+    down per cost-model term — no hook rewrite needed, because the hooks'
+    arithmetic is linear in the probe's answers.  Everything else (constants,
+    :meth:`CostModel.eager_limit`, presets) passes straight through to the
+    wrapped model.
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: "CostModel") -> None:
+        self.base = base
+
+    def copy_time(self, nbytes: float) -> CostTerms:
+        return CostTerms({"copy": self.base.copy_time(nbytes)})
+
+    def reduce_time(self, nbytes: float) -> CostTerms:
+        return CostTerms({"reduce": self.base.reduce_time(nbytes)})
+
+    def wire_time(self, nbytes: float) -> CostTerms:
+        return CostTerms({"wire": self.base.wire_time(nbytes)})
+
+    def eager_time(self, nbytes: int, total_tasks: int) -> CostTerms:
+        return CostTerms({"eager": self.base.eager_time(nbytes, total_tasks)})
+
+    def __getattr__(self, name: str) -> typing.Any:
+        return getattr(self.base, name)
+
+    def __repr__(self) -> str:
+        return f"<TermProbe over {self.base!r}>"
 
 
 @dataclass(frozen=True)
@@ -203,6 +340,26 @@ class CostModel:
     def wire_time(self, nbytes: int) -> float:
         """Uncontended duration of one network message of ``nbytes``."""
         return self.net_latency + nbytes / self.net_bandwidth
+
+    def eager_time(self, nbytes: int, total_tasks: int) -> float:
+        """The §2.3 eager/rendezvous protocol penalty for one MPI message.
+
+        Zero while the payload fits the task-count-dependent eager limit;
+        beyond it, the message pays the RTS/CTS rendezvous round trip (two
+        control messages, each riding the network latency).  Analytic cost
+        hooks for MPI-flavoured variants charge this through
+        :meth:`TermProbe.eager_time` so calibration can attribute drift to
+        the ``eager`` term separately from raw ``wire`` time.
+        """
+        if nbytes <= self.eager_limit(total_tasks):
+            return 0.0
+        return 2 * (self.rendezvous_control_cost + self.net_latency)
+
+    def probe(self) -> TermProbe:
+        """A :class:`TermProbe` over this model: time queries answer in
+        :class:`CostTerms`, so any cost hook evaluated against the probe
+        yields its per-term breakdown (see ``repro.core.dispatch.predict_terms``)."""
+        return TermProbe(self)
 
     def evolve(self, **changes: typing.Any) -> "CostModel":
         """Return a copy with ``changes`` applied (for ablations/sweeps)."""

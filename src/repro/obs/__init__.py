@@ -7,6 +7,12 @@ SRM collective stack.  See ``docs/observability.md`` for the guide and
 :mod:`repro.obs.taxonomy` for the phase and wait-state vocabulary.
 """
 
+from repro.obs.calib import (
+    DecisionLog,
+    DecisionRecord,
+    run_calibrate,
+    validate_calibration_report,
+)
 from repro.obs.critical import CriticalPath, Segment, critical_path
 from repro.obs.diff import (
     PhaseDelta,
@@ -33,6 +39,10 @@ from repro.obs.waits import WaitInterval, WaitReport, classify_waits
 
 __all__ = [
     "Observability",
+    "DecisionLog",
+    "DecisionRecord",
+    "run_calibrate",
+    "validate_calibration_report",
     "MetricsRegistry",
     "NullRegistry",
     "Counter",

@@ -277,6 +277,53 @@ def test_tuned_policy_load_round_trip(tmp_path):
     assert policy.select(_env("allreduce", 32 * KB, 4)) == "ring"
 
 
+def test_tuned_policy_load_warns_on_fingerprint_mismatch(tmp_path):
+    document = _tuned_document({"broadcast": {"4": [[8 * KB, "small"]]}})
+    document["identity"] = {"tasks_per_node": 16}
+    document["fingerprint"] = "0" * 12  # never a real sha256 prefix of ours
+    path = tmp_path / "stale.json"
+    path.write_text(json.dumps(document))
+    with pytest.warns(UserWarning) as caught:
+        policy = TunedPolicy.load(str(path))
+    message = str(caught[0].message)
+    # The warning names the file and *both* fingerprints, so the user can
+    # tell which side is stale.
+    assert "stale.json" in message
+    assert "0" * 12 in message
+    from repro.bench.export import bench_identity, identity_fingerprint
+
+    live = identity_fingerprint(bench_identity(tasks_per_node=16))
+    assert live in message
+    # The table still loads: stale switch points beat no switch points.
+    assert policy.select(_env("broadcast", 4 * KB, 4)) == "small"
+
+
+def test_tuned_policy_load_is_silent_when_fingerprint_matches(tmp_path):
+    import warnings
+
+    from repro.bench.export import bench_identity, identity_fingerprint
+
+    document = _tuned_document({"broadcast": {"4": [[8 * KB, "small"]]}})
+    document["identity"] = bench_identity(tasks_per_node=16)
+    document["fingerprint"] = identity_fingerprint(document["identity"])
+    path = tmp_path / "fresh.json"
+    path.write_text(json.dumps(document))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        TunedPolicy.load(str(path))
+
+
+def test_tuned_policy_missing_entries_fall_to_the_fallback_policy():
+    # An op absent from the table routes through the explicit fallback;
+    # sizes beyond the table's grid use the table's own last row.
+    policy = TunedPolicy(
+        _tuned_document({"broadcast": {"4": [[8 * KB, "small"]]}}),
+        fallback=FixedPolicy({"allreduce": "ring"}),
+    )
+    assert policy.select(_env("allreduce", 4 * KB, 4)) == "ring"
+    assert policy.select(_env("broadcast", 1024 * KB, 4)) == "small"
+
+
 # ---------------------------------------------------------------------------
 # the dispatcher on a live machine
 # ---------------------------------------------------------------------------
@@ -334,6 +381,90 @@ def test_inapplicable_choice_falls_back_to_paper():
     assert summary["dispatch.fallbacks"] >= 1
     assert summary.get("dispatch.allreduce.pipeline", 0) >= 1
     assert "dispatch.allreduce.exchange" not in summary
+
+
+def test_fallback_span_detail_names_the_overridden_choice_and_reason():
+    machine, _srm = _run_allreduce(
+        FixedPolicy({"allreduce": "exchange"}), nbytes=128 * KB
+    )
+    details = [
+        span.detail
+        for span in machine.obs.recorder.spans
+        if span.name == "dispatch" and span.detail.startswith("allreduce/")
+    ]
+    assert details, "expected a dispatch marker span"
+    # The marker says what ran, what was overridden, and *why* — the
+    # variant's declared structural precondition.
+    assert any(
+        "<- exchange inapplicable:" in detail
+        and "exchange staging buffers" in detail
+        for detail in details
+    )
+
+
+def test_decision_record_captures_fallback_and_predictions():
+    machine, _srm = _run_allreduce(
+        FixedPolicy({"allreduce": "exchange"}), nbytes=128 * KB
+    )
+    record = machine.obs.decisions.find("allreduce", 128 * KB)
+    assert record is not None
+    assert record.fallback is True
+    assert record.fallback_from == "exchange"
+    assert record.chosen == "pipeline"
+    assert record.policy == "fixed"
+    # Every registered variant was forecast, applicable or not.
+    assert set(record.predictions) == {"exchange", "pipeline", "ring"}
+    assert record.predictions["exchange"]["applicable"] is False
+    assert record.predictions["pipeline"]["applicable"] is True
+    for prediction in record.predictions.values():
+        assert prediction["total_us"] > 0
+        assert prediction["total_us"] == pytest.approx(
+            sum(prediction["terms_us"].values()), rel=1e-9
+        )
+
+
+def test_decision_record_counts_cache_hits():
+    spec = ClusterSpec(nodes=2, tasks_per_node=2)
+    machine = Machine(spec)
+    srm = SRM(machine)
+    srm.ctx.dispatch("broadcast", 4 * KB)
+    srm.ctx.dispatch("broadcast", 4 * KB)
+    srm.ctx.dispatch("broadcast", 4 * KB)
+    assert len(machine.obs.decisions) == 1
+    record = machine.obs.decisions.find("broadcast", 4 * KB)
+    assert record.calls == 3
+    assert record.cache_hits == 2
+
+
+def test_decisions_log_is_none_when_observation_is_off():
+    spec = ClusterSpec(nodes=2, tasks_per_node=2)
+    machine = Machine(spec, observe=False)
+    assert machine.obs.decisions is None
+    srm = SRM(machine)
+    # Dispatch still works; it just records nothing.
+    decision = srm.ctx.dispatch("broadcast", 4 * KB)
+    assert decision.variant == "small"
+
+
+def test_dispatchers_with_different_policies_do_not_share_cached_decisions():
+    # Two stacks on one machine, different policies, same (op, nbytes):
+    # each Dispatcher caches per context, so the selections must diverge.
+    spec = ClusterSpec(nodes=2, tasks_per_node=2)
+    machine = Machine(spec)
+    srm_paper = SRM(machine, policy=PaperPolicy())
+    srm_fixed = SRM(machine, policy=FixedPolicy({"allreduce": "ring"}))
+    paper_first = srm_paper.ctx.dispatch("allreduce", 2 * KB)
+    fixed_first = srm_fixed.ctx.dispatch("allreduce", 2 * KB)
+    assert paper_first.variant == "exchange"
+    assert fixed_first.variant == "ring"
+    # Repeat dispatches hit each stack's own cache, not the other's.
+    assert srm_paper.ctx.dispatch("allreduce", 2 * KB) is paper_first
+    assert srm_fixed.ctx.dispatch("allreduce", 2 * KB) is fixed_first
+    assert paper_first is not fixed_first
+    # One DecisionRecord per dispatcher, not one shared record.
+    assert len(machine.obs.decisions) == 2
+    chosen = {record.chosen for record in machine.obs.decisions.records}
+    assert chosen == {"exchange", "ring"}
 
 
 def test_srm_accepts_each_policy_end_to_end():

@@ -1,9 +1,9 @@
-"""Unit tests for the cost model and eager-limit table."""
+"""Unit tests for the cost model, eager-limit table, and term breakdown."""
 
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.machine import CostModel, EagerLimitTable
+from repro.machine import COST_TERMS, CostModel, CostTerms, EagerLimitTable
 
 KB = 1024
 
@@ -69,3 +69,81 @@ def test_presets_are_valid_and_distinct():
     fat = CostModel.fat_smp()
     assert commodity.net_latency > colony.net_latency
     assert fat.memory_bus_bandwidth > colony.memory_bus_bandwidth
+
+
+# ---------------------------------------------------------------------------
+# cost terms + the breakdown probe
+# ---------------------------------------------------------------------------
+
+
+def test_cost_terms_algebra():
+    a = CostTerms({"copy": 1.0, "wire": 2.0})
+    b = CostTerms({"wire": 3.0, "reduce": 0.5})
+    merged = a + b
+    assert merged.as_dict() == {"copy": 1.0, "reduce": 0.5, "wire": 5.0}
+    scaled = 3 * a
+    assert scaled.as_dict() == {"copy": 3.0, "wire": 6.0}
+    # Scalars fold into the catch-all "other" bucket; 0 + terms is identity
+    # (so sum() works over CostTerms).
+    assert (a + 1.5).as_dict()["other"] == 1.5
+    assert sum([a, b]).total == pytest.approx(a.total + b.total)
+    assert float(merged) == pytest.approx(6.5)
+    assert a < b  # totals: 3.0 < 3.5
+    assert b > a
+    assert CostTerms.coerce(0).as_dict() == {}
+    assert CostTerms.coerce(2.0).as_dict() == {"other": 2.0}
+    assert CostTerms.coerce(a) is a
+
+
+def test_probe_primitives_return_single_terms():
+    model = CostModel.ibm_sp_colony()
+    probe = model.probe()
+    assert probe.copy_time(KB).as_dict() == {"copy": model.copy_time(KB)}
+    assert probe.wire_time(KB).as_dict() == {"wire": model.wire_time(KB)}
+    assert probe.reduce_time(KB).as_dict() == {"reduce": model.reduce_time(KB)}
+    # Non-primitive attributes pass through to the wrapped model.
+    assert probe.net_latency == model.net_latency
+    assert set(COST_TERMS) == {"copy", "wire", "reduce", "eager"}
+
+
+def test_eager_time_is_zero_below_the_limit():
+    model = CostModel.ibm_sp_colony()
+    limit = model.eager_limit(16)
+    assert model.eager_time(limit, 16) == 0.0
+    penalty = model.eager_time(limit + 1, 16)
+    assert penalty == pytest.approx(
+        2 * (model.rendezvous_control_cost + model.net_latency)
+    )
+    probed = model.probe().eager_time(limit + 1, 16)
+    assert probed.as_dict() == {"eager": penalty}
+
+
+def test_probe_breakdown_totals_match_plain_estimates_for_every_variant():
+    # The invariant predict_terms rests on: every registered cost hook is a
+    # linear combination of the model primitives, so evaluating it against
+    # the probe yields the same total as evaluating it against the model.
+    from repro.core import SRMConfig
+    from repro.core.dispatch import (
+        SelectionEnv,
+        predict_terms,
+        registered_ops,
+        variants_for,
+    )
+
+    model = CostModel.ibm_sp_colony()
+    config = SRMConfig()
+    checked = 0
+    for op in registered_ops():
+        for entry in variants_for(op):
+            for nbytes in (0, 1, 8 * KB, 64 * KB + 1, 2**20):
+                for nodes in (1, 2, 16):
+                    env = SelectionEnv(
+                        op=op, nbytes=nbytes, nodes=nodes, ppn=16,
+                        config=config, cost=model,
+                    )
+                    terms, total = predict_terms(entry, env)
+                    assert total == pytest.approx(entry.cost(env), rel=1e-12)
+                    assert total == pytest.approx(sum(terms.values()), rel=1e-12)
+                    assert set(terms) <= set(COST_TERMS) | {"other"}
+                    checked += 1
+    assert checked > 100
