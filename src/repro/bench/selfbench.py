@@ -18,6 +18,14 @@ The resulting document deliberately does **not** live inside a bench
 snapshot: snapshots are byte-stable measurement artifacts, while
 events/second varies with the host.  It is written as a sibling JSON
 (``kind: "repro-kernel-selfbench"``) and uploaded as its own CI artifact.
+
+Schema v2 adds a **persistent-replay** scenario: the per-start *setup* cost
+(validate + plan lookup + dispatch + window reservation + generator
+creation) of N repeated small broadcasts issued as N independent blocking
+calls versus N ``start()``\\ s of one persistent plan — the amortization the
+request layer exists to provide, measured on the wall clock rather than
+asserted.  Simulated time is untouched: only the Python-side setup path is
+timed, no engine runs.
 """
 
 from __future__ import annotations
@@ -31,10 +39,11 @@ __all__ = [
     "SELFBENCH_KIND",
     "SELFBENCH_SCHEMA_VERSION",
     "kernel_selfbench",
+    "persistent_replay_selfbench",
 ]
 
 SELFBENCH_KIND = "repro-kernel-selfbench"
-SELFBENCH_SCHEMA_VERSION = 1
+SELFBENCH_SCHEMA_VERSION = 2
 
 
 def _workload(engine: Engine, width: int, rounds: int) -> None:
@@ -92,4 +101,59 @@ def kernel_selfbench(width: int = 32, rounds: int = 1500, repeats: int = 3) -> d
         "events": best["events"],
         "events_per_second": best["events_per_second"],
         "runs": runs,
+        "persistent_replay": persistent_replay_selfbench(),
+    }
+
+
+def persistent_replay_selfbench(
+    starts: int = 2000, nbytes: int = 1024, repeats: int = 3
+) -> dict:
+    """Per-start setup cost: N blocking-call setups vs one replayed plan.
+
+    Both paths run on a throwaway 2x2 machine and stop short of executing
+    anything — what is timed is exactly the work a call pays *before* its
+    first simulated event: the blocking path re-validates, re-looks-up the
+    plan, re-dispatches, reserves, and builds the body generator per call;
+    the persistent path does all of that once at plan init and then only
+    reserves + builds per ``start()``.  Reports the best (lowest) ns/start
+    of each path and their ratio, ``amortization_speedup``.
+    """
+    import numpy as np
+
+    from repro.core import SRM
+    from repro.core import requests as request_layer
+    from repro.machine import ClusterSpec, Machine
+
+    count = max(1, starts)
+    blocking_ns = []
+    replay_ns = []
+    for _ in range(max(1, repeats)):
+        machine = Machine(ClusterSpec(nodes=2, tasks_per_node=2))
+        srm = SRM(machine)
+        task = machine.task(0)
+        buffer = np.zeros(nbytes, dtype=np.uint8)
+        # Resolve the decision cache once so the blocking loop measures the
+        # steady state (cache hit per call), not the first-call dispatch.
+        request_layer.start_broadcast(srm.ctx, task, buffer, 0, inline=True)
+
+        started = time.perf_counter()
+        for _ in range(count):
+            request_layer.start_broadcast(srm.ctx, task, buffer, 0, inline=True)
+        blocking_ns.append((time.perf_counter() - started) / count * 1e9)
+
+        plan = srm.plan_broadcast(task, buffer, root=0)
+        started = time.perf_counter()
+        for _ in range(count):
+            plan.prepare_start()
+        replay_ns.append((time.perf_counter() - started) / count * 1e9)
+
+    blocking_best = min(blocking_ns)
+    replay_best = min(replay_ns)
+    return {
+        "starts": count,
+        "nbytes": nbytes,
+        "repeats": max(1, repeats),
+        "blocking_ns_per_start": round(blocking_best, 1),
+        "replay_ns_per_start": round(replay_best, 1),
+        "amortization_speedup": round(blocking_best / replay_best, 2),
     }

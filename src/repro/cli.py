@@ -399,6 +399,13 @@ def _cmd_bench_self(args: argparse.Namespace) -> int:
         f"(best of {document['workload']['repeats']} runs, "
         f"{document['events']} events each)"
     )
+    replay = document["persistent_replay"]
+    print(
+        f"persistent replay: {replay['replay_ns_per_start']:,.0f} ns/start vs "
+        f"{replay['blocking_ns_per_start']:,.0f} ns blocking setup "
+        f"({replay['amortization_speedup']:.1f}x amortization, "
+        f"{replay['starts']} starts of {replay['nbytes']} B broadcasts)"
+    )
     if args.json_out:
         text = json.dumps(document, indent=1, sort_keys=True)
         if args.json_out == "-":

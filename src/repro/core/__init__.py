@@ -10,12 +10,15 @@ from repro.core.dispatch import (
     SelectionPolicy,
     TunedPolicy,
 )
+from repro.core.requests import CollectiveRequest, PersistentCollective
 from repro.core.srm import SRM
 
 __all__ = [
     "SRM",
     "SRMConfig",
     "SRMContext",
+    "CollectiveRequest",
+    "PersistentCollective",
     "SelectionPolicy",
     "PaperPolicy",
     "CostModelPolicy",

@@ -15,6 +15,16 @@ Sequence bookkeeping: chunk flags hold *cumulative* chunk counts rather than
 booleans, so no inter-call reset synchronization is ever needed — every task
 executes the same sequence of collective calls, hence agrees on every
 sequence number by construction.
+
+With the request layer (:mod:`repro.core.requests`) several invocations of
+one plan can be in flight at once, so the per-invocation cursors — broadcast
+and reduce chunk sequences, streamed-chunk bases, per-edge send/receive
+counts, the exchange call parity — are *reserved* synchronously at
+``start()`` into an :class:`InvocationState` instead of being read and
+advanced lazily mid-schedule.  Two in-flight invocations therefore never
+alias a buffer slot: each owns a disjoint sequence window, and the
+cumulative-counter discipline above keeps both sides of every edge in
+agreement about slot parity without any extra synchronization.
 """
 
 from __future__ import annotations
@@ -34,7 +44,47 @@ from repro.shmem.flags import FlagArray, SharedFlag
 from repro.shmem.segment import SharedSegment
 from repro.trees.embedding import EmbeddedTrees, group_embedding
 
-__all__ = ["SRMContext", "NodeState", "BcastPlan", "ReducePlan", "AllreducePlan", "BarrierPlan"]
+__all__ = [
+    "SRMContext",
+    "NodeState",
+    "InvocationState",
+    "BcastPlan",
+    "ReducePlan",
+    "AllreducePlan",
+    "BarrierPlan",
+]
+
+
+@dataclass
+class InvocationState:
+    """The per-invocation mutable cursors of one collective call at one rank.
+
+    Reserved synchronously when the invocation starts (a blocking call, an
+    ``i*`` one-shot, or a persistent ``plan.start()``) by the ``reserve_*``
+    helpers in :mod:`repro.core.internode`; the protocol bodies then compute
+    every slot parity and counter threshold from these bases instead of
+    reading and mutating the shared plan/node cursors mid-schedule.  The
+    pipelined allreduce carries both its reduce-stage and broadcast-stage
+    windows in one instance (the field sets are disjoint).
+    """
+
+    op: str
+    root: int | None = None
+    #: Per-rank invocation number (assigned by the request layer; orders the
+    #: rank's requests and names them in deadlock reports).
+    sequence: int = 0
+    #: First SMP-broadcast chunk sequence of this invocation at this rank.
+    bcast_base: int = 0
+    #: First SMP-reduce chunk sequence of this invocation at this rank.
+    reduce_base: int = 0
+    #: Large-protocol broadcast: first streamed-chunk threshold at my node.
+    stream_base: int = 0
+    #: Reduce: first staging-slot sequence toward my inter-node parent.
+    sent_base: int = 0
+    #: Reduce: first staging-slot sequence per inter-node child rank.
+    recv_base: dict[int, int] = field(default_factory=dict)
+    #: Exchange allreduce: this master's call number (slot parity).
+    call: int = 0
 
 
 class NodeState:
@@ -114,6 +164,22 @@ class NodeState:
         """True when this task is the node's group master."""
         return task.rank == self.members[0]
 
+    def reserve_bcast(self, local_index: int, count: int) -> int:
+        """Claim the next ``count`` SMP-broadcast chunk sequences; returns
+        the first.  Reserving at start (instead of advancing lazily per
+        chunk) is what keeps two in-flight invocations out of each other's
+        buffer slots."""
+        base = self.bcast_seq[local_index]
+        self.bcast_seq[local_index] = base + count
+        return base
+
+    def reserve_reduce(self, local_index: int, count: int) -> int:
+        """Claim the next ``count`` SMP-reduce chunk sequences; returns the
+        first."""
+        base = self.reduce_seq[local_index]
+        self.reduce_seq[local_index] = base + count
+        return base
+
     def reduce_slot(self, local_index: int, sequence: int, nbytes: int) -> np.ndarray:
         """The slot a task writes its ``sequence``-th reduce chunk into."""
         pair = self.reduce_slots[local_index]
@@ -162,6 +228,13 @@ class BcastPlan:
     #: watched, never consumed, so thresholds are absolute across calls).
     stream_base: dict[int, int] = field(default_factory=dict)
 
+    def reserve_stream(self, node: int, count: int) -> int:
+        """Claim ``count`` streamed-chunk thresholds at ``node``; returns the
+        first (absolute across calls — the arrival counter is never reset)."""
+        base = self.stream_base.get(node, 0)
+        self.stream_base[node] = base + count
+        return base
+
     def inter_children(self, rank: int) -> list[int]:
         """Inter-node children of ``rank`` (empty for non-representatives)."""
         if rank in self.trees.inter.parent:
@@ -195,6 +268,18 @@ class ReducePlan:
     #: the staging slot parity without synchronization.
     sent_seq: dict[int, int] = field(default_factory=dict)
     recv_seq: dict[int, int] = field(default_factory=dict)
+
+    def reserve_sent(self, rank: int, count: int) -> int:
+        """Claim ``count`` staging-slot sequences toward ``rank``'s parent."""
+        base = self.sent_seq.get(rank, 0)
+        self.sent_seq[rank] = base + count
+        return base
+
+    def reserve_recv(self, child_rank: int, count: int) -> int:
+        """Claim ``count`` staging-slot sequences on the ``child_rank`` edge."""
+        base = self.recv_seq.get(child_rank, 0)
+        self.recv_seq[child_rank] = base + count
+        return base
 
     def inter_children(self, rank: int) -> list[int]:
         if rank in self.trees.inter.parent:
@@ -235,6 +320,12 @@ class AllreducePlan:
     fold_result_arrival: dict[int, LapiCounter]
     #: Per-master call count (slot parity agreement across calls).
     call_seq: dict[int, int]
+
+    def reserve_call(self, rank: int) -> int:
+        """Claim this master's next exchange call number (slot parity)."""
+        call = self.call_seq[rank]
+        self.call_seq[rank] = call + 1
+        return call
 
     @property
     def group_size(self) -> int:
@@ -297,6 +388,19 @@ class SRMContext:
         #: Protocol-dispatch layer: every algorithm choice routes through
         #: here (the default policy reproduces the paper's §2.4 thresholds).
         self.dispatcher = Dispatcher(self, policy)
+        #: Per-rank tail of the request chain: within one context a rank's
+        #: collectives run in started order (MPI's per-communicator ordering
+        #: guarantee); overlap comes from cross-rank skew and from other
+        #: contexts.  Maintained by :mod:`repro.core.requests`.
+        self._request_tail: dict[int, typing.Any] = {}
+        #: Per-rank invocation numbering (names requests in reports).
+        self._invocation_seq: dict[int, int] = {}
+
+    def next_invocation(self, rank: int) -> int:
+        """This rank's next invocation number (0, 1, 2, ... per context)."""
+        sequence = self._invocation_seq.get(rank, 0)
+        self._invocation_seq[rank] = sequence + 1
+        return sequence
 
     @property
     def group_root(self) -> int:
@@ -317,11 +421,34 @@ class SRMContext:
                 f"task {task.rank}'s node hosts no members of this group"
             ) from None
 
+    # -- validation (the single choke point for every entry path) -----------
+
+    def validate(self, op: str, nbytes: int, rank: int, root: int | None = None) -> None:
+        """Validate one collective call's arguments, synchronously.
+
+        Every entry path — blocking facades, ``i*`` one-shots, persistent
+        plan construction, and the direct ``srm_*`` generators — routes
+        through here, so membership/root/size errors raise at ``start()``
+        (or plan init), never from inside a half-started schedule.
+        """
+        self.check_member(rank)
+        if root is not None:
+            self.check_member(root)
+        if nbytes < 0:
+            raise ConfigurationError(f"{op}: message size must be >= 0, got {nbytes}")
+
     # -- dispatch ------------------------------------------------------------
 
-    def dispatch(self, op: str, nbytes: int, task: typing.Any = None) -> Decision:
-        """Resolve the algorithm variant for one collective call."""
-        return self.dispatcher.decide(op, nbytes, task)
+    def dispatch(
+        self, op: str, nbytes: int, task: typing.Any = None, persistent: bool = False
+    ) -> Decision:
+        """Resolve the algorithm variant for one collective call.
+
+        ``persistent`` marks the decision telemetry record as pinned by a
+        persistent plan (dispatched once at init, then amortized over every
+        ``start()``).
+        """
+        return self.dispatcher.decide(op, nbytes, task, persistent=persistent)
 
     # -- plan construction (cached per root) --------------------------------
 
@@ -477,6 +604,6 @@ class SRMContext:
         return self._barrier_plan
 
     def validate_message(self, nbytes: int) -> None:
-        """Guard against messages the shared structures cannot stage."""
+        """Size-only guard (kept for compatibility; prefer :meth:`validate`)."""
         if nbytes < 0:
             raise ConfigurationError(f"message size must be >= 0, got {nbytes}")

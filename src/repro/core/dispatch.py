@@ -798,8 +798,15 @@ class Dispatcher:
             cost=self.ctx.machine.cost,
         )
 
-    def decide(self, op: str, nbytes: int, task: typing.Any = None) -> Decision:
-        """Resolve (and record) the variant for one collective call."""
+    def decide(
+        self, op: str, nbytes: int, task: typing.Any = None, persistent: bool = False
+    ) -> Decision:
+        """Resolve (and record) the variant for one collective call.
+
+        ``persistent=True`` marks the decision telemetry: the selection is
+        being pinned into a persistent plan and amortized across its starts
+        rather than re-resolved per call.
+        """
         key = (op, nbytes)
         cached = self._cache.get(key)
         if cached is not None:
@@ -808,6 +815,8 @@ class Dispatcher:
             if record is not None:
                 record.calls += 1
                 record.cache_hits += 1
+                if persistent:
+                    record.persistent = True
             return decision
 
         env = self.env(op, nbytes)
@@ -866,6 +875,7 @@ class Dispatcher:
                     fallback=fallback,
                     fallback_from=fallback_from,
                     predictions=predictions,
+                    persistent=persistent,
                 )
             )
         # Mark each *distinct* decision once in the trace: a zero-duration

@@ -21,9 +21,9 @@ import typing
 
 import numpy as np
 
-from repro.core.context import SRMContext
-from repro.core.internode.broadcast import _broadcast_large
-from repro.core.internode.reduce import srm_reduce
+from repro.core.context import InvocationState, SRMContext
+from repro.core.internode.broadcast import _broadcast_large, reserve_broadcast
+from repro.core.internode.reduce import reserve_reduce, srm_reduce
 from repro.core.smp.broadcast import fill_slot, smp_broadcast_chunk
 from repro.core.smp.reduce import smp_reduce_chunk
 from repro.obs.taxonomy import EXCHANGE_ROUND
@@ -31,10 +31,11 @@ from repro.sim.events import Event
 from repro.sim.process import ProcessGenerator
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.dispatch import Decision
     from repro.machine.cluster import Task
     from repro.mpi.ops import ReduceOp
 
-__all__ = ["srm_allreduce"]
+__all__ = ["srm_allreduce", "reserve_allreduce", "allreduce_body"]
 
 _SIGNAL = np.zeros(0, dtype=np.uint8)
 
@@ -51,16 +52,72 @@ def srm_allreduce(
     op: "ReduceOp",
 ) -> ProcessGenerator:
     """One rank's part of an SRM allreduce (result in every ``dst``)."""
-    ctx.validate_message(src.nbytes)
+    ctx.validate("allreduce", src.nbytes, task.rank)
     if dst.nbytes != src.nbytes:
         raise ValueError(f"allreduce dst ({dst.nbytes} B) must match src ({src.nbytes} B)")
     decision = ctx.dispatch("allreduce", src.nbytes, task)
+    invocation = reserve_allreduce(ctx, task, decision, src.nbytes)
+    yield from allreduce_body(ctx, task, src, dst, op, decision, invocation)
+
+
+def _pipeline_chunks(ctx: SRMContext, decision: "Decision", nbytes: int) -> list[tuple[int, int]]:
+    """The pipelined variant's chunking (shared by reserve and body)."""
+    if decision.chunks is not None:
+        return list(decision.chunks)
+    return ctx.config.chunks(nbytes)
+
+
+def reserve_allreduce(
+    ctx: SRMContext, task: "Task", decision: "Decision", nbytes: int
+) -> InvocationState:
+    """Claim this invocation's sequence windows at this rank (at start).
+
+    The pipelined variant carries both its reduce-stage and broadcast-stage
+    windows in one :class:`InvocationState` (the field sets are disjoint);
+    the ring variant keeps its legacy self-advancing plan cursors — safe
+    because per-rank request chaining serializes a rank's invocations.
+    """
+    invocation = InvocationState(op="allreduce")
+    state = ctx.node_state(task)
+    me = state.index_of(task)
+    if decision.variant == "exchange":
+        invocation.reduce_base = state.reserve_reduce(me, 1)
+        if state.is_master(task):
+            plan = ctx.allreduce_plan()
+            invocation.call = plan.reserve_call(task.rank)
+            if state.size > 1:
+                invocation.bcast_base = state.reserve_bcast(me, 1)
+        else:
+            invocation.bcast_base = state.reserve_bcast(me, 1)
+    elif decision.variant != "ring":
+        chunks = _pipeline_chunks(ctx, decision, nbytes)
+        root = ctx.group_root
+        reduce_window = reserve_reduce(ctx.reduce_plan(root), state, task, chunks)
+        bcast_window = reserve_broadcast(ctx.bcast_plan(root), state, task, chunks, large=True)
+        invocation.reduce_base = reduce_window.reduce_base
+        invocation.recv_base = reduce_window.recv_base
+        invocation.sent_base = reduce_window.sent_base
+        invocation.bcast_base = bcast_window.bcast_base
+        invocation.stream_base = bcast_window.stream_base
+    return invocation
+
+
+def allreduce_body(
+    ctx: SRMContext,
+    task: "Task",
+    src: np.ndarray,
+    dst: np.ndarray,
+    op: "ReduceOp",
+    decision: "Decision",
+    invocation: InvocationState,
+) -> ProcessGenerator:
+    """The allreduce proper, over a pre-reserved invocation window."""
     if decision.variant == "exchange":
         manage = decision.manage_interrupts
         if manage:
             task.lapi.set_interrupts(False)
         try:
-            yield from _allreduce_exchange(ctx, task, src, dst, op)
+            yield from _allreduce_exchange(ctx, task, src, dst, op, invocation)
         finally:
             if manage:
                 task.lapi.set_interrupts(True)
@@ -69,7 +126,8 @@ def srm_allreduce(
 
         yield from srm_allreduce_ring(ctx, task, src, dst, op)
     else:
-        yield from _allreduce_pipelined(ctx, task, src, dst, op, decision.chunks)
+        chunks = _pipeline_chunks(ctx, decision, src.nbytes)
+        yield from _allreduce_pipelined(ctx, task, src, dst, op, chunks, invocation)
 
 
 # ---------------------------------------------------------------------------
@@ -83,6 +141,7 @@ def _allreduce_exchange(
     src: np.ndarray,
     dst: np.ndarray,
     op: "ReduceOp",
+    invocation: InvocationState,
 ) -> ProcessGenerator:
     state = ctx.node_state(task)
     nbytes = src.nbytes
@@ -93,13 +152,21 @@ def _allreduce_exchange(
 
     if not state.is_master(task):
         # Contribute to the SMP reduce, then collect the result.
-        yield from smp_reduce_chunk(state, task, intra_tree, src_data, op)
-        yield from smp_broadcast_chunk(state, task, is_source=False, src_chunk=None, dst_chunk=dst_data)
+        yield from smp_reduce_chunk(
+            state, task, intra_tree, src_data, op, sequence=invocation.reduce_base
+        )
+        yield from smp_broadcast_chunk(
+            state,
+            task,
+            is_source=False,
+            src_chunk=None,
+            dst_chunk=dst_data,
+            sequence=invocation.bcast_base,
+        )
         return
 
     plan = ctx.allreduce_plan()
-    call = plan.call_seq[task.rank]
-    plan.call_seq[task.rank] = call + 1
+    call = invocation.call
     slot = call % 2
     node = task.node.index
     my_position = plan.position[node]
@@ -107,7 +174,10 @@ def _allreduce_exchange(
     group = plan.group_size  # the power-of-two exchange group
 
     # The master accumulates directly in its own destination buffer.
-    yield from smp_reduce_chunk(state, task, intra_tree, src_data, op, target=dst_data)
+    yield from smp_reduce_chunk(
+        state, task, intra_tree, src_data, op, target=dst_data,
+        sequence=invocation.reduce_base,
+    )
 
     if my_position >= group:
         # Excess node: fold into the partner, get the final result back.
@@ -153,10 +223,7 @@ def _allreduce_exchange(
 
     # SMP broadcast of the result to the local tasks.
     if state.size > 1:
-        me = state.index_of(task)
-        sequence = state.bcast_seq[me]
-        state.bcast_seq[me] = sequence + 1
-        yield from fill_slot(state, task, sequence % 2, dst_data)
+        yield from fill_slot(state, task, invocation.bcast_base % 2, dst_data)
 
 
 # ---------------------------------------------------------------------------
@@ -170,9 +237,9 @@ def _allreduce_pipelined(
     src: np.ndarray,
     dst: np.ndarray,
     op: "ReduceOp",
-    chunks: typing.Sequence[tuple[int, int]] | None = None,
+    chunks: list[tuple[int, int]],
+    invocation: InvocationState,
 ) -> ProcessGenerator:
-    chunks = list(chunks) if chunks is not None else ctx.config.chunks(src.nbytes)
     pipeline_root = ctx.group_root
     is_global_root = task.rank == pipeline_root
     root_events = (
@@ -192,6 +259,7 @@ def _allreduce_pipelined(
             chunks=chunks,
             root_chunk_done=root_events,
             manage=False,
+            invocation=invocation,
         ),
         name=f"ar-reduce[{task.rank}]",
     )
@@ -204,6 +272,7 @@ def _allreduce_pipelined(
             task,
             dst,
             chunks,
+            invocation,
             root_chunk_ready=root_events,
         ),
         name=f"ar-bcast[{task.rank}]",

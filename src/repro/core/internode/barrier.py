@@ -22,16 +22,23 @@ from repro.sim.process import ProcessGenerator
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.machine.cluster import Task
 
-__all__ = ["srm_barrier"]
+__all__ = ["srm_barrier", "barrier_body"]
 
 _SIGNAL = np.zeros(0, dtype=np.uint8)
 
 
 def srm_barrier(ctx: SRMContext, task: "Task") -> ProcessGenerator:
     """One rank's part of an SRM barrier."""
-    state = ctx.node_state(task)
+    ctx.validate("barrier", 0, task.rank)
     decision = ctx.dispatch("barrier", 0, task)
-    manage = decision.manage_interrupts
+    yield from barrier_body(ctx, task, decision.manage_interrupts)
+
+
+def barrier_body(ctx: SRMContext, task: "Task", manage: bool) -> ProcessGenerator:
+    """The barrier proper (no per-invocation cursors: check-in flags are
+    binary and the dissemination counters are consumed, so consecutive
+    invocations compose without reservation)."""
+    state = ctx.node_state(task)
     if manage:
         task.lapi.set_interrupts(False)
     try:

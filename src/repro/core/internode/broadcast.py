@@ -35,7 +35,7 @@ import typing
 import numpy as np
 
 from repro.core.config import SRMConfig
-from repro.core.context import BcastPlan, NodeState, SRMContext
+from repro.core.context import BcastPlan, InvocationState, NodeState, SRMContext
 from repro.core.smp.broadcast import announce_slot, drain_slot, fill_slot, smp_broadcast_chunk
 from repro.obs.taxonomy import PIPELINE_CHUNK, STREAM_JOIN
 from repro.sim.events import Event
@@ -44,7 +44,7 @@ from repro.sim.process import ProcessGenerator
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.machine.cluster import Task
 
-__all__ = ["srm_broadcast"]
+__all__ = ["srm_broadcast", "reserve_broadcast", "broadcast_body"]
 
 #: Zero-byte put payload used for pure counter signals.
 _SIGNAL = np.zeros(0, dtype=np.uint8)
@@ -56,20 +56,59 @@ def _bytes(buffer: np.ndarray) -> np.ndarray:
 
 def srm_broadcast(ctx: SRMContext, task: "Task", buffer: np.ndarray, root: int = 0) -> ProcessGenerator:
     """One rank's part of an SRM broadcast of ``buffer`` from ``root``."""
-    ctx.validate_message(buffer.nbytes)
+    ctx.validate("broadcast", buffer.nbytes, task.rank, root=root)
     plan = ctx.bcast_plan(root)
     state = ctx.node_state(task)
     decision = ctx.dispatch("broadcast", buffer.nbytes, task)
     chunks = list(decision.chunks)
     large = decision.variant == "large"
-    manage = decision.manage_interrupts
+    invocation = reserve_broadcast(plan, state, task, chunks, large)
+    yield from broadcast_body(
+        ctx, plan, state, task, buffer, chunks, large, decision.manage_interrupts, invocation
+    )
+
+
+def reserve_broadcast(
+    plan: BcastPlan,
+    state: NodeState,
+    task: "Task",
+    chunks: list[tuple[int, int]],
+    large: bool,
+) -> InvocationState:
+    """Claim this invocation's sequence windows at this rank (at start)."""
+    invocation = InvocationState(op="broadcast", root=plan.root)
+    me = state.index_of(task)
+    if large and plan.trees.is_representative(task.rank):
+        # Representatives in the large protocol advance the SMP cursor only
+        # on multi-task nodes (the fill loop is skipped otherwise) and own a
+        # window of streamed-chunk thresholds at their node.
+        if state.size > 1:
+            invocation.bcast_base = state.reserve_bcast(me, len(chunks))
+        invocation.stream_base = plan.reserve_stream(task.node.index, len(chunks))
+    else:
+        invocation.bcast_base = state.reserve_bcast(me, len(chunks))
+    return invocation
+
+
+def broadcast_body(
+    ctx: SRMContext,
+    plan: BcastPlan,
+    state: NodeState,
+    task: "Task",
+    buffer: np.ndarray,
+    chunks: list[tuple[int, int]],
+    large: bool,
+    manage: bool,
+    invocation: InvocationState,
+) -> ProcessGenerator:
+    """The broadcast proper, over a pre-reserved invocation window."""
     if manage:
         task.lapi.set_interrupts(False)
     try:
         if large:
-            yield from _broadcast_large(ctx, plan, state, task, buffer, chunks)
+            yield from _broadcast_large(ctx, plan, state, task, buffer, chunks, invocation)
         else:
-            yield from _broadcast_small(ctx, plan, state, task, buffer, chunks)
+            yield from _broadcast_small(ctx, plan, state, task, buffer, chunks, invocation)
     finally:
         if manage:
             task.lapi.set_interrupts(True)
@@ -87,13 +126,19 @@ def _broadcast_small(
     task: "Task",
     buffer: np.ndarray,
     chunks: list[tuple[int, int]],
+    invocation: InvocationState,
 ) -> ProcessGenerator:
     data = _bytes(buffer)
     if not plan.trees.is_representative(task.rank):
-        for offset, size in chunks:
+        for index, (offset, size) in enumerate(chunks):
             with task.phase(PIPELINE_CHUNK):
                 yield from smp_broadcast_chunk(
-                    state, task, is_source=False, src_chunk=None, dst_chunk=data[offset : offset + size]
+                    state,
+                    task,
+                    is_source=False,
+                    src_chunk=None,
+                    dst_chunk=data[offset : offset + size],
+                    sequence=invocation.bcast_base + index,
                 )
         return
 
@@ -102,13 +147,11 @@ def _broadcast_small(
     children = plan.inter_children(task.rank)
     parent = plan.inter_parent(task.rank)
     edge = plan.edges.get(task.node.index)
-    me = state.index_of(task)
 
-    for offset, size in chunks:
+    for index, (offset, size) in enumerate(chunks):
         with task.phase(PIPELINE_CHUNK):
             view = data[offset : offset + size]
-            sequence = state.bcast_seq[me]
-            state.bcast_seq[me] = sequence + 1
+            sequence = invocation.bcast_base + index
             slot = sequence % 2
 
             if is_root:
@@ -169,6 +212,7 @@ def _broadcast_large(
     task: "Task",
     buffer: np.ndarray,
     chunks: list[tuple[int, int]],
+    invocation: InvocationState,
     root_chunk_ready: list[Event] | None = None,
 ) -> ProcessGenerator:
     """The Fig. 4 (right) streamed protocol.
@@ -178,10 +222,15 @@ def _broadcast_large(
     """
     data = _bytes(buffer)
     if not plan.trees.is_representative(task.rank):
-        for offset, size in chunks:
+        for index, (offset, size) in enumerate(chunks):
             with task.phase(PIPELINE_CHUNK):
                 yield from smp_broadcast_chunk(
-                    state, task, is_source=False, src_chunk=None, dst_chunk=data[offset : offset + size]
+                    state,
+                    task,
+                    is_source=False,
+                    src_chunk=None,
+                    dst_chunk=data[offset : offset + size],
+                    sequence=invocation.bcast_base + index,
                 )
         return
 
@@ -190,7 +239,7 @@ def _broadcast_large(
     parent = plan.inter_parent(task.rank)
     my_node = task.node.index
     arrival = plan.stream_arrival.get(my_node)
-    base = plan.stream_base.get(my_node, 0)
+    base = invocation.stream_base
 
     # Stage 1: register the user buffer and signal the parent (the
     # address-exchange put).
@@ -211,7 +260,6 @@ def _broadcast_large(
     ]
 
     # Stages 3/4: pipeline arrived chunks through the node's shared buffers.
-    me = state.index_of(task)
     if state.size > 1:
         for index, (offset, size) in enumerate(chunks):
             with task.phase(PIPELINE_CHUNK):
@@ -219,8 +267,7 @@ def _broadcast_large(
                     yield from task.lapi.watch(arrival, base + index + 1)
                 elif root_chunk_ready is not None:
                     yield root_chunk_ready[index]
-                sequence = state.bcast_seq[me]
-                state.bcast_seq[me] = sequence + 1
+                sequence = invocation.bcast_base + index
                 yield from fill_slot(state, task, sequence % 2, data[offset : offset + size])
     elif arrival is not None:
         yield from task.lapi.watch(arrival, base + len(chunks))
@@ -229,7 +276,6 @@ def _broadcast_large(
         with task.phase(STREAM_JOIN):
             for forwarder in forwarders:
                 yield forwarder
-    plan.stream_base[my_node] = base + len(chunks)
 
 
 def _stream_to_child(

@@ -117,6 +117,7 @@ def srm_scatter(
     root: int = 0,
 ) -> ProcessGenerator:
     """Scatter ``sendbuf`` blocks from ``root`` into every member's ``recvbuf``."""
+    ctx.validate("scatter", recvbuf.nbytes, task.rank, root=root)
     ctx.dispatch("scatter", recvbuf.nbytes, task)
     plan = _block_plan(ctx, root)
     members = ctx.members
@@ -170,6 +171,7 @@ def srm_gather(
     root: int = 0,
 ) -> ProcessGenerator:
     """Gather every member's ``sendbuf`` block into ``root``'s ``recvbuf``."""
+    ctx.validate("gather", sendbuf.nbytes, task.rank, root=root)
     ctx.dispatch("gather", sendbuf.nbytes, task)
     plan = _block_plan(ctx, root)
     members = ctx.members
@@ -209,6 +211,7 @@ def srm_allgather(
     recvbuf: np.ndarray,
 ) -> ProcessGenerator:
     """Every member's block, concatenated, delivered to every member."""
+    ctx.validate("allgather", recvbuf.nbytes, task.rank)
     if recvbuf.nbytes != sendbuf.nbytes * len(ctx.members):
         raise ConfigurationError(
             f"allgather receive buffer is {recvbuf.nbytes} B; expected "
@@ -250,6 +253,7 @@ def srm_alltoall(
     """
     from repro.core.internode.barrier import srm_barrier
 
+    ctx.validate("alltoall", sendbuf.nbytes, task.rank)
     ctx.dispatch("alltoall", sendbuf.nbytes, task)
     members = ctx.members
     size = len(members)

@@ -23,7 +23,7 @@ import typing
 
 import numpy as np
 
-from repro.core.context import NodeState, ReducePlan, SRMContext
+from repro.core.context import InvocationState, NodeState, ReducePlan, SRMContext
 from repro.core.smp.reduce import smp_reduce_chunk
 from repro.obs.taxonomy import PIPELINE_CHUNK
 from repro.sim.events import Event
@@ -33,7 +33,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.machine.cluster import Task
     from repro.mpi.ops import ReduceOp
 
-__all__ = ["srm_reduce"]
+__all__ = ["srm_reduce", "reserve_reduce", "reduce_body"]
 
 _SIGNAL = np.zeros(0, dtype=np.uint8)
 
@@ -53,6 +53,7 @@ def srm_reduce(
     chunks: list[tuple[int, int]] | None = None,
     root_chunk_done: list[Event] | None = None,
     manage: bool | None = None,
+    invocation: InvocationState | None = None,
 ) -> ProcessGenerator:
     """One rank's part of an SRM reduce of ``src`` to ``root``'s ``dst``.
 
@@ -61,9 +62,11 @@ def srm_reduce(
     per-chunk completion events the root fires as results materialize.
     ``manage`` overrides the interrupt-management default (the pipelined
     allreduce passes False because its broadcast stage runs concurrently on
-    the same task).
+    the same task).  ``invocation``: a pre-reserved sequence window (the
+    pipelined allreduce reserves both of its stages before spawning them);
+    when ``None`` the window is reserved here.
     """
-    ctx.validate_message(src.nbytes)
+    ctx.validate("reduce", src.nbytes, task.rank, root=root)
     plan = ctx.reduce_plan(root)
     state = ctx.node_state(task)
     if chunks is None or manage is None:
@@ -72,16 +75,38 @@ def srm_reduce(
             chunks = list(decision.chunks)
         if manage is None:
             manage = decision.manage_interrupts
+    if invocation is None:
+        invocation = reserve_reduce(plan, state, task, chunks)
     if manage:
         task.lapi.set_interrupts(False)
     try:
-        yield from _reduce_body(ctx, plan, state, task, src, dst, op, chunks, root_chunk_done)
+        yield from reduce_body(
+            ctx, plan, state, task, src, dst, op, chunks, root_chunk_done, invocation
+        )
     finally:
         if manage:
             task.lapi.set_interrupts(True)
 
 
-def _reduce_body(
+def reserve_reduce(
+    plan: ReducePlan,
+    state: NodeState,
+    task: "Task",
+    chunks: list[tuple[int, int]],
+) -> InvocationState:
+    """Claim this invocation's sequence windows at this rank (at start)."""
+    invocation = InvocationState(op="reduce", root=plan.root)
+    me = state.index_of(task)
+    invocation.reduce_base = state.reserve_reduce(me, len(chunks))
+    if plan.trees.is_representative(task.rank):
+        for child_rank in plan.inter_children(task.rank):
+            invocation.recv_base[child_rank] = plan.reserve_recv(child_rank, len(chunks))
+        if plan.inter_parent(task.rank) is not None:
+            invocation.sent_base = plan.reserve_sent(task.rank, len(chunks))
+    return invocation
+
+
+def reduce_body(
     ctx: SRMContext,
     plan: ReducePlan,
     state: NodeState,
@@ -91,7 +116,9 @@ def _reduce_body(
     op: "ReduceOp",
     chunks: list[tuple[int, int]],
     root_chunk_done: list[Event] | None,
+    invocation: InvocationState,
 ) -> ProcessGenerator:
+    """The reduce proper, over a pre-reserved invocation window."""
     src_data = _flat(src)
     dtype = src_data.dtype
     itemsize = dtype.itemsize
@@ -101,10 +128,15 @@ def _reduce_body(
         return buffer[offset // itemsize : (offset + size) // itemsize]
 
     if not plan.trees.is_representative(task.rank):
-        for offset, size in chunks:
+        for index, (offset, size) in enumerate(chunks):
             with task.phase(PIPELINE_CHUNK):
                 yield from smp_reduce_chunk(
-                    state, task, intra_tree, elements(offset, size, src_data), op
+                    state,
+                    task,
+                    intra_tree,
+                    elements(offset, size, src_data),
+                    op,
+                    sequence=invocation.reduce_base + index,
                 )
         return
 
@@ -126,13 +158,15 @@ def _reduce_body(
                 target = state.partial_buffer(index, size).view(dtype)
             else:
                 target = None  # zero-copy: the slot/source doubles as put source
-            partial = yield from smp_reduce_chunk(state, task, intra_tree, src_chunk, op, target)
+            partial = yield from smp_reduce_chunk(
+                state, task, intra_tree, src_chunk, op, target,
+                sequence=invocation.reduce_base + index,
+            )
             assert partial is not None
 
             # Combine the inter-node children's staged partials.
             for child_rank in children:
-                sequence = plan.recv_seq.get(child_rank, 0)
-                plan.recv_seq[child_rank] = sequence + 1
+                sequence = invocation.recv_base[child_rank] + index
                 slot = sequence % 2
                 yield from task.lapi.waitcntr(plan.arrival[child_rank][slot], 1)
                 staged = plan.staging[child_rank][slot][:size].view(dtype)
@@ -142,8 +176,7 @@ def _reduce_body(
                 )
 
             if parent is not None:
-                sequence = plan.sent_seq.get(task.rank, 0)
-                plan.sent_seq[task.rank] = sequence + 1
+                sequence = invocation.sent_base + index
                 slot = sequence % 2
                 yield from task.lapi.waitcntr(plan.free[task.rank][slot], 1)
                 yield from task.lapi.put(

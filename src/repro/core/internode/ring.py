@@ -98,6 +98,7 @@ def srm_allreduce_ring(
     op: "ReduceOp",
 ) -> ProcessGenerator:
     """One rank's part of the hierarchical ring allreduce."""
+    ctx.validate("allreduce", src.nbytes, task.rank)
     state = ctx.node_state(task)
     dtype = src.dtype
     src_data = src.reshape(-1)

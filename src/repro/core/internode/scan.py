@@ -109,6 +109,7 @@ def srm_scan(
     op: "ReduceOp",
 ) -> ProcessGenerator:
     """One rank's part of an inclusive SRM scan."""
+    ctx.validate("scan", src.nbytes, task.rank)
     if dst.nbytes != src.nbytes:
         raise ConfigurationError("scan buffers must match in size")
     ctx.dispatch("scan", src.nbytes, task)

@@ -91,15 +91,22 @@ def smp_broadcast_chunk(
     is_source: bool,
     src_chunk: np.ndarray | None,
     dst_chunk: np.ndarray | None,
+    sequence: int | None = None,
 ) -> ProcessGenerator:
-    """One chunk of a flat SMP broadcast; advances the task's slot sequence.
+    """One chunk of a flat SMP broadcast.
 
     ``is_source``: this task provides the data (from ``src_chunk``).
     Readers pass their ``dst_chunk``.  Single-task nodes are a no-op.
+
+    ``sequence``: a pre-reserved chunk sequence (see
+    :meth:`~repro.core.context.NodeState.reserve_bcast`); when ``None`` the
+    task's cursor is read and advanced here — the legacy single-invocation
+    discipline still used by the extension collectives and ablations.
     """
     me = state.index_of(task)
-    sequence = state.bcast_seq[me]
-    state.bcast_seq[me] = sequence + 1
+    if sequence is None:
+        sequence = state.bcast_seq[me]
+        state.bcast_seq[me] = sequence + 1
     if state.size == 1:
         return
     slot = sequence % 2

@@ -15,6 +15,15 @@ Usage inside a simulated program::
         ...
 
     machine.launch(program)
+
+Every collective also exists in **nonblocking** (``ibcast`` et al., returning
+a :class:`~repro.core.requests.CollectiveRequest` whose progress runs in its
+own process) and **persistent** (``plan_broadcast`` et al., returning a
+:class:`~repro.core.requests.PersistentCollective` whose dispatch decision
+and buffer bindings are pinned once and replayed per ``start()``) form.  The
+blocking methods are themselves implemented as ``start(inline=True)`` +
+``wait()`` over the same request layer — one code path, byte-identical to
+the historical blocking behaviour.
 """
 
 from __future__ import annotations
@@ -23,20 +32,18 @@ import typing
 
 import numpy as np
 
+from repro.core import requests as _requests
 from repro.core.config import SRMConfig
 from repro.core.context import SRMContext
 from repro.core.dispatch import SelectionPolicy
-from repro.core.internode.allreduce import srm_allreduce
-from repro.core.internode.barrier import srm_barrier
-from repro.core.internode.broadcast import srm_broadcast
 from repro.core.internode.gatherscatter import (
     srm_allgather,
     srm_alltoall,
     srm_gather,
     srm_scatter,
 )
-from repro.core.internode.reduce import srm_reduce
 from repro.core.internode.scan import srm_scan
+from repro.core.requests import CollectiveRequest, PersistentCollective
 from repro.machine.cluster import Machine
 from repro.mpi.ops import SUM, ReduceOp
 from repro.sim.process import ProcessGenerator
@@ -89,8 +96,8 @@ class SRM:
 
     def broadcast(self, task: "Task", buffer: np.ndarray, root: int = 0) -> ProcessGenerator:
         """Broadcast ``buffer`` from ``root`` to every member (in place)."""
-        self.ctx.check_member(task.rank)
-        yield from srm_broadcast(self.ctx, task, buffer, root)
+        request = _requests.start_broadcast(self.ctx, task, buffer, root, inline=True)
+        yield from request.wait()
 
     def reduce(
         self,
@@ -101,8 +108,8 @@ class SRM:
         root: int = 0,
     ) -> ProcessGenerator:
         """Combine every member's ``src`` with ``op`` into ``root``'s ``dst``."""
-        self.ctx.check_member(task.rank)
-        yield from srm_reduce(self.ctx, task, src, dst, op, root)
+        request = _requests.start_reduce(self.ctx, task, src, dst, op, root, inline=True)
+        yield from request.wait()
 
     def allreduce(
         self,
@@ -112,13 +119,80 @@ class SRM:
         op: ReduceOp = SUM,
     ) -> ProcessGenerator:
         """Combine every member's ``src`` into every member's ``dst``."""
-        self.ctx.check_member(task.rank)
-        yield from srm_allreduce(self.ctx, task, src, dst, op)
+        request = _requests.start_allreduce(self.ctx, task, src, dst, op, inline=True)
+        yield from request.wait()
 
     def barrier(self, task: "Task") -> ProcessGenerator:
         """Synchronize all members."""
-        self.ctx.check_member(task.rank)
-        yield from srm_barrier(self.ctx, task)
+        request = _requests.start_barrier(self.ctx, task, inline=True)
+        yield from request.wait()
+
+    # -- nonblocking one-shots (MPI_I* shape) ------------------------------
+
+    def ibcast(self, task: "Task", buffer: np.ndarray, root: int = 0) -> CollectiveRequest:
+        """Start a nonblocking broadcast; complete with ``yield from
+        request.wait()``.  Argument errors raise here, never mid-schedule."""
+        return _requests.start_broadcast(self.ctx, task, buffer, root)
+
+    def ireduce(
+        self,
+        task: "Task",
+        src: np.ndarray,
+        dst: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+        root: int = 0,
+    ) -> CollectiveRequest:
+        """Start a nonblocking reduce."""
+        return _requests.start_reduce(self.ctx, task, src, dst, op, root)
+
+    def iallreduce(
+        self,
+        task: "Task",
+        src: np.ndarray,
+        dst: np.ndarray,
+        op: ReduceOp = SUM,
+    ) -> CollectiveRequest:
+        """Start a nonblocking allreduce."""
+        return _requests.start_allreduce(self.ctx, task, src, dst, op)
+
+    def ibarrier(self, task: "Task") -> CollectiveRequest:
+        """Start a nonblocking barrier."""
+        return _requests.start_barrier(self.ctx, task)
+
+    # -- persistent plans (MPI_*_init shape): plan once, start repeatedly --
+
+    def plan_broadcast(
+        self, task: "Task", buffer: np.ndarray, root: int = 0
+    ) -> PersistentCollective:
+        """A persistent broadcast of ``buffer`` from ``root``: the dispatch
+        decision, tree embedding, and buffer binding are pinned now; each
+        ``plan.start()`` only reserves a sequence window and goes."""
+        return _requests.persistent_broadcast(self.ctx, task, buffer, root)
+
+    def plan_reduce(
+        self,
+        task: "Task",
+        src: np.ndarray,
+        dst: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+        root: int = 0,
+    ) -> PersistentCollective:
+        """A persistent reduce plan (buffers and operator bound at init)."""
+        return _requests.persistent_reduce(self.ctx, task, src, dst, op, root)
+
+    def plan_allreduce(
+        self,
+        task: "Task",
+        src: np.ndarray,
+        dst: np.ndarray,
+        op: ReduceOp = SUM,
+    ) -> PersistentCollective:
+        """A persistent allreduce plan (buffers and operator bound at init)."""
+        return _requests.persistent_allreduce(self.ctx, task, src, dst, op)
+
+    def plan_barrier(self, task: "Task") -> PersistentCollective:
+        """A persistent barrier plan."""
+        return _requests.persistent_barrier(self.ctx, task)
 
     # -- block-data extensions (RMA-native, see internode/gatherscatter) --
 
@@ -130,7 +204,6 @@ class SRM:
         root: int = 0,
     ) -> ProcessGenerator:
         """Distribute ``root``'s blocks: member *i* receives block *i*."""
-        self.ctx.check_member(task.rank)
         yield from srm_scatter(self.ctx, task, sendbuf, recvbuf, root)
 
     def gather(
@@ -141,7 +214,6 @@ class SRM:
         root: int = 0,
     ) -> ProcessGenerator:
         """Collect every member's block into ``root``'s ``recvbuf``."""
-        self.ctx.check_member(task.rank)
         yield from srm_gather(self.ctx, task, sendbuf, recvbuf, root)
 
     def allgather(
@@ -151,7 +223,6 @@ class SRM:
         recvbuf: np.ndarray,
     ) -> ProcessGenerator:
         """Every member's block, concatenated, delivered to every member."""
-        self.ctx.check_member(task.rank)
         yield from srm_allgather(self.ctx, task, sendbuf, recvbuf)
 
     def alltoall(
@@ -161,7 +232,6 @@ class SRM:
         recvbuf: np.ndarray,
     ) -> ProcessGenerator:
         """Personalized exchange: my block *j* reaches member *j*."""
-        self.ctx.check_member(task.rank)
         yield from srm_alltoall(self.ctx, task, sendbuf, recvbuf)
 
     def scan(
@@ -172,7 +242,6 @@ class SRM:
         op: ReduceOp = SUM,
     ) -> ProcessGenerator:
         """Inclusive prefix reduction in group-member order."""
-        self.ctx.check_member(task.rank)
         yield from srm_scan(self.ctx, task, src, dst, op)
 
     def reduce_scatter(

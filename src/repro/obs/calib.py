@@ -127,6 +127,9 @@ class DecisionRecord:
     #: Variant name -> ``{"applicable": bool, "total_us": float,
     #: "terms_us": {term: float}}`` for every registered variant of the op.
     predictions: dict[str, dict] = field(default_factory=dict)
+    #: True once any persistent plan pinned this decision at init (amortized
+    #: across its starts instead of re-resolved per call).
+    persistent: bool = False
     #: Total dispatch calls resolved to this decision (cache hits included).
     calls: int = 1
     #: Calls served from the decision cache (``calls - 1`` distinct misses).
@@ -148,6 +151,7 @@ class DecisionRecord:
             "chosen": self.chosen,
             "fallback": self.fallback,
             "fallback_from": self.fallback_from,
+            "persistent": self.persistent,
             "calls": self.calls,
             "cache_hits": self.cache_hits,
             "predictions": {

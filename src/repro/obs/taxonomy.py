@@ -80,6 +80,7 @@ __all__ = [
     "RING_STEP",
     "SCAN_CHUNK",
     "DISPATCH",
+    "REQUEST",
     "FLOW_PUT_COUNTER",
     "FLOW_PUT_COMPLETION",
     "FLOW_FLAG_WAKEUP",
@@ -123,6 +124,10 @@ BLOCK_TRANSFER = "block-transfer"
 RING_STEP = "ring-step"
 SCAN_CHUNK = "scan-chunk"
 DISPATCH = "dispatch"
+#: Zero-duration marker opening a nonblocking/persistent request's progress
+#: process; its detail names the owning request (``op#invocation@rank``) so
+#: overlapped spans and wait attribution can be tied back to a request.
+REQUEST = "request"
 
 # -- flow kinds -------------------------------------------------------------
 FLOW_PUT_COUNTER = "put-counter"
@@ -203,5 +208,6 @@ ALL_PHASES = frozenset(
         RING_STEP,
         SCAN_CHUNK,
         DISPATCH,
+        REQUEST,
     }
 )

@@ -122,7 +122,11 @@ class Engine:
         for process in shown:
             target = process.waiting_on
             waiting = repr(target) if target is not None else "(not yet resumed)"
-            lines.append(f"  {process.name or '<anonymous>'} blocked on {waiting}")
+            line = f"  {process.name or '<anonymous>'} blocked on {waiting}"
+            request = process.waiting_request
+            if request is not None:
+                line += f" in wait() on request {request.describe()}"
+            lines.append(line)
         more = len(blocked) - len(shown)
         if more:
             lines.append(f"  ... and {more} more")

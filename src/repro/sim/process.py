@@ -31,7 +31,7 @@ ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
 class Process(Event):
     """A running simulated process; fires when its generator returns."""
 
-    __slots__ = ("_generator", "_waiting_on", "__weakref__")
+    __slots__ = ("_generator", "_waiting_on", "waiting_request", "__weakref__")
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str | None = None) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -42,6 +42,10 @@ class Process(Event):
         super().__init__(engine, name=name or getattr(generator, "__name__", None))
         self._generator = generator
         self._waiting_on: Event | None = None
+        #: The collective request this process is inside ``wait()`` on, if
+        #: any — set by the request layer so deadlock reports can say *which*
+        #: outstanding collective a blocked program was waiting to finish.
+        self.waiting_request: typing.Any = None
         # Weak registration so deadlock reports can name blocked processes.
         engine._register_process(self)
         # Kick the generator off at the current simulation time, but through

@@ -14,6 +14,13 @@ reports it:
   flag (an off-by-one in the "set the flags of all other processes" loop of
   §2.2).  That reader spins forever: detected as a deadlock, with the
   blocked process named in the :class:`~repro.errors.DeadlockError`.
+* ``alias-invocation-slot`` — the request layer's two overlap defenses are
+  both dropped at once: sequence-window reservation stops advancing the
+  cursor (every ``start()`` hands out the *same* slot window) and the
+  per-rank started-order chain gate is skipped.  Harmless for blocking
+  programs; with two invocations of one plan in flight the aliased slot is
+  refilled while readers still hold it.  Detected on an overlap cell by the
+  buffer invariants (overwrite-in-use / read-before-ready) or a deadlock.
 
 Patches target the **class methods** (``SharedFlag.wait_value``,
 ``FlagArray.set_all``) rather than module globals, so every call site —
@@ -77,6 +84,35 @@ def _skip_ready_set() -> typing.Iterator[None]:
         FlagArray.set_all = original  # type: ignore[method-assign]
 
 
+@contextlib.contextmanager
+def _alias_invocation_slot() -> typing.Iterator[None]:
+    from repro.core.context import NodeState
+    from repro.core.requests import CollectiveRequest
+
+    original_reserve = NodeState.reserve_bcast
+    original_gate = CollectiveRequest._gate_on_predecessor
+
+    def mutated_reserve(self: NodeState, local_index: int, count: int) -> int:
+        # The bug: hand out the current window without claiming it — every
+        # start() of the same rank aliases the same buffer slots.
+        return self.bcast_seq[local_index]
+
+    def mutated_gate(self: CollectiveRequest) -> typing.Any:
+        # The bug: drop the per-rank started-order chain, letting the
+        # aliased invocations actually run concurrently.
+        self._predecessor = None
+        return
+        yield  # pragma: no cover - keeps this a generator function
+
+    NodeState.reserve_bcast = mutated_reserve  # type: ignore[method-assign]
+    CollectiveRequest._gate_on_predecessor = mutated_gate  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        NodeState.reserve_bcast = original_reserve  # type: ignore[method-assign]
+        CollectiveRequest._gate_on_predecessor = original_gate  # type: ignore[method-assign]
+
+
 #: name -> (expected detection, context-manager factory)
 MUTATIONS: dict[str, tuple[str, typing.Callable[[], typing.ContextManager[None]]]] = {
     "skip-ready-wait": (
@@ -88,6 +124,11 @@ MUTATIONS: dict[str, tuple[str, typing.Callable[[], typing.ContextManager[None]]
         "owner forgets one reader's READY flag "
         "(expect a deadlock naming the starved rank)",
         _skip_ready_set,
+    ),
+    "alias-invocation-slot": (
+        "overlapping starts share one slot window with no ordering chain "
+        "(expect buffer overwrite/read violations or a deadlock)",
+        _alias_invocation_slot,
     ),
 }
 

@@ -20,7 +20,8 @@ __all__ = ["REPORT_SCHEMA", "SCHEMA_VERSION", "build_report", "write_report", "l
 REPORT_SCHEMA = "repro-verify-report"
 
 #: Bump on any incompatible change to the report layout.
-SCHEMA_VERSION = 1
+#: v2: cell entries carry the ``overlap`` in-flight-collective mode.
+SCHEMA_VERSION = 2
 
 #: Top-level keys every report carries (the golden-report test pins these).
 ENVELOPE_KEYS = ("schema", "schema_version", "label", "body")
@@ -45,6 +46,7 @@ CELL_KEYS = (
     "operation",
     "regime",
     "nbytes",
+    "overlap",
     "explorer",
     "reference_digest",
     "reference_error",

@@ -68,10 +68,18 @@ class Cell:
     operation: str
     regime: str
     nbytes: int
+    #: In-flight-collective mode: ``"none"`` runs the classic blocking
+    #: program; ``"plan2"`` starts one persistent plan twice before waiting
+    #: either (two outstanding invocations on one plan); ``"plans"`` holds an
+    #: operation plan and a barrier plan in flight together on one group.
+    overlap: str = "none"
 
     @property
     def cell_id(self) -> str:
-        return f"{self.operation}/n{self.nodes}xp{self.procs}/{self.regime}({self.nbytes}B)"
+        base = f"{self.operation}/n{self.nodes}xp{self.procs}/{self.regime}({self.nbytes}B)"
+        if self.overlap != "none":
+            base += f"/{self.overlap}"
+        return base
 
 
 def default_grid(
@@ -94,12 +102,32 @@ def default_grid(
                     continue
                 for regime in regimes:
                     cells.append(Cell(nodes, procs, operation, regime, REGIME_SIZES[regime]))
+    # Overlapping in-flight collectives (the request layer): one shape per
+    # grid, every operation, both overlap modes — two outstanding invocations
+    # of one persistent plan, and two plans in flight on one group.
+    nodes, procs = node_counts[0], proc_counts[-1]
+    for operation in operations:
+        regime = "none" if operation == "barrier" else "small"
+        nbytes = 0 if operation == "barrier" else REGIME_SIZES["small"]
+        for overlap in ("plan2", "plans"):
+            cells.append(Cell(nodes, procs, operation, regime, nbytes, overlap))
     return cells
 
 
 def quick_grid() -> list[Cell]:
     """A minutes-not-hours subset for CI smoke and ``--quick``."""
-    return default_grid(node_counts=(2,), proc_counts=(2,), regimes=("small", "pipelined"))
+    cells = default_grid(node_counts=(2,), proc_counts=(2,), regimes=("small", "pipelined"))
+    # Trim the default grid's full overlap block to three representative
+    # cells so the quick pass still covers both overlap modes.
+    keep = {
+        ("broadcast", "plan2"),
+        ("broadcast", "plans"),
+        ("allreduce", "plan2"),
+    }
+    return [
+        cell for cell in cells
+        if cell.overlap == "none" or (cell.operation, cell.overlap) in keep
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -163,11 +191,39 @@ def run_cell_once(
         else:
             raise VerificationError(f"unknown operation {cell.operation!r}")
 
+    def make_plan(task) -> typing.Any:
+        if cell.operation == "broadcast":
+            return srm.plan_broadcast(task, bcast_buffers[task.rank], root=0)
+        if cell.operation == "reduce":
+            dst = reduce_dst if task.rank == 0 else None
+            return srm.plan_reduce(task, sources[task.rank], dst, SUM, root=0)
+        if cell.operation == "allreduce":
+            return srm.plan_allreduce(task, sources[task.rank], destinations[task.rank], SUM)
+        if cell.operation == "barrier":
+            return srm.plan_barrier(task)
+        raise VerificationError(f"unknown operation {cell.operation!r}")
+
+    def overlapped(task) -> typing.Any:
+        plan = make_plan(task)
+        if cell.overlap == "plan2":
+            # Two outstanding invocations of one plan before either wait.
+            first, second = plan.start(), plan.start()
+        elif cell.overlap == "plans":
+            # Two plans in flight on one group: the operation + a barrier.
+            first, second = plan.start(), srm.plan_barrier(task).start()
+        else:
+            raise VerificationError(f"unknown overlap mode {cell.overlap!r}")
+        yield from first.wait()
+        yield from second.wait()
+
     def program(task) -> typing.Any:
         if fault_plan is not None:
             stall = fault_plan.master_stall()
             if stall > 0.0:
                 yield machine.engine.timeout(stall)
+        if cell.overlap != "none":
+            yield from overlapped(task)
+            return
         for _ in range(ITERATIONS):
             yield from body(task)
 
@@ -291,6 +347,7 @@ def run_cell(
         "operation": cell.operation,
         "regime": cell.regime,
         "nbytes": cell.nbytes,
+        "overlap": cell.overlap,
         "explorer": explorer,
         "reference_digest": reference.digest,
         "reference_error": reference.error,
@@ -386,14 +443,21 @@ def run_mutation_smoke(
     """
     names = list(mutations) if mutations is not None else sorted(MUTATIONS)
     cell = Cell(nodes=2, procs=3, operation="broadcast", regime="small", nbytes=2048)
+    # Mutations that only bite under overlapping in-flight invocations get an
+    # overlap cell; everything else smokes on the classic blocking cell.
+    smoke_cells: dict[str, Cell] = {
+        "alias-invocation-slot": dataclasses.replace(cell, overlap="plan2"),
+    }
     results: list[dict] = []
     for name in names:
+        target = smoke_cells.get(name, cell)
         with apply_mutation(name):
-            entry = run_cell(cell, schedules=schedules, seed=seed, faults=False)
+            entry = run_cell(target, schedules=schedules, seed=seed, faults=False)
         detected = entry["violation_count"] > 0 or entry["errors"] > 0
         results.append(
             {
                 "mutation": name,
+                "cell": target.cell_id,
                 "expectation": MUTATIONS[name][0],
                 "detected": detected,
                 "violation_count": entry["violation_count"],

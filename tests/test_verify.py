@@ -320,13 +320,42 @@ def test_run_cell_with_faults_still_invariant():
     assert sum(entry["faults_injected"].values()) > 0  # faults actually fired
 
 
+def test_overlap_cells_are_schedule_invariant():
+    """Two outstanding invocations of one plan (plan2) and two plans in
+    flight on one group (plans) stay digest-identical across schedules."""
+    for overlap in ("plan2", "plans"):
+        entry = run_cell(
+            Cell(2, 2, "broadcast", "small", 2048, overlap=overlap),
+            schedules=6,
+            seed=0,
+        )
+        assert entry["ok"], entry["violations"][:3]
+        assert entry["overlap"] == overlap
+        assert entry["cell"].endswith(f"/{overlap}")
+
+
+def test_overlap_digest_matches_blocking_digest():
+    """Overlapped starts must land the same bytes as two blocking calls:
+    the request layer reorders *setup*, never data."""
+    blocking = run_cell_once(Cell(2, 2, "broadcast", "small", 2048), scheduler=None)
+    overlapped = run_cell_once(
+        Cell(2, 2, "broadcast", "small", 2048, overlap="plan2"), scheduler=None
+    )
+    assert overlapped.error is None and not overlapped.violations
+    assert overlapped.digest == blocking.digest
+
+
 # ---------------------------------------------------------------------------
 # mutation smoke
 # ---------------------------------------------------------------------------
 
 
 def test_mutation_registry_shapes():
-    assert set(MUTATIONS) == {"skip-ready-wait", "skip-ready-set"}
+    assert set(MUTATIONS) == {
+        "skip-ready-wait",
+        "skip-ready-set",
+        "alias-invocation-slot",
+    }
     with pytest.raises(VerificationError):
         apply_mutation("no-such-mutation")
 
@@ -349,10 +378,23 @@ def test_skip_ready_set_mutation_deadlocks_with_named_ranks():
     assert "rank" in outcome.error  # the starved process is named
 
 
+def test_alias_invocation_slot_mutation_detected_on_overlap_cell():
+    """Dropping window reservation + the started-order chain is invisible to
+    blocking programs but caught on an overlap cell."""
+    blocking = Cell(2, 3, "broadcast", "small", 2048)
+    overlap = Cell(2, 3, "broadcast", "small", 2048, overlap="plan2")
+    with apply_mutation("alias-invocation-slot"):
+        clean = run_cell_once(blocking, scheduler=None)
+        entry = run_cell(overlap, schedules=4, seed=0, faults=False)
+    assert clean.error is None and not clean.violations
+    assert entry["violation_count"] > 0 or entry["errors"] > 0
+
+
 def test_mutations_unpatch_cleanly():
     cell = Cell(2, 2, "broadcast", "small", 2048)
-    with apply_mutation("skip-ready-wait"):
-        pass
+    for name in ("skip-ready-wait", "alias-invocation-slot"):
+        with apply_mutation(name):
+            pass
     outcome = run_cell_once(cell, scheduler=None)
     assert outcome.error is None and not outcome.violations
 
