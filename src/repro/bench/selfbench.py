@@ -26,10 +26,21 @@ calls versus N ``start()``\\ s of one persistent plan — the amortization the
 request layer exists to provide, measured on the wall clock rather than
 asserted.  Simulated time is untouched: only the Python-side setup path is
 timed, no engine runs.
+
+Schema v3 adds the **compiled-replay** scenario: full persistent-plan
+windows driven end to end with compiled-schedule replay
+(:mod:`repro.core.replay`) on versus off.  Unlike the setup-only scenario
+above, this one runs the engine: the slow path re-drives every process and
+generator per window; the replay path applies the recorded trace with the
+vectorized kernel.  The report carries per-window buffer digests from both
+paths so CI can fail on any replay-vs-slow-path drift, and the effective
+events/second (recorded schedule events delivered per wall-clock second),
+which the tentpole requires to be >= 10x the slow path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 import typing
 
@@ -40,10 +51,11 @@ __all__ = [
     "SELFBENCH_SCHEMA_VERSION",
     "kernel_selfbench",
     "persistent_replay_selfbench",
+    "compiled_replay_selfbench",
 ]
 
 SELFBENCH_KIND = "repro-kernel-selfbench"
-SELFBENCH_SCHEMA_VERSION = 2
+SELFBENCH_SCHEMA_VERSION = 3
 
 
 def _workload(engine: Engine, width: int, rounds: int) -> None:
@@ -71,13 +83,20 @@ def _workload(engine: Engine, width: int, rounds: int) -> None:
         engine.timeout(1e-6 * (i % 11 + 1))
 
 
-def kernel_selfbench(width: int = 32, rounds: int = 1500, repeats: int = 3) -> dict:
+def kernel_selfbench(
+    width: int = 32,
+    rounds: int = 1500,
+    repeats: int = 3,
+    compiled_replay: bool = True,
+) -> dict:
     """Measure engine throughput; returns the self-benchmark document.
 
     Each repeat builds a fresh engine, seeds the synthetic workload, and
     drains it while timing with ``time.perf_counter``.  ``events`` is the
     engine's own processed-event count (identical across repeats — the
     workload is deterministic), ``events_per_second`` the best repeat.
+    ``compiled_replay=False`` (the CLI's ``--no-replay``) skips the
+    compiled-replay scenario, storing ``None`` in its slot.
     """
     runs: list[dict] = []
     for _ in range(max(1, repeats)):
@@ -102,6 +121,7 @@ def kernel_selfbench(width: int = 32, rounds: int = 1500, repeats: int = 3) -> d
         "events_per_second": best["events_per_second"],
         "runs": runs,
         "persistent_replay": persistent_replay_selfbench(),
+        "compiled_replay": compiled_replay_selfbench() if compiled_replay else None,
     }
 
 
@@ -156,4 +176,113 @@ def persistent_replay_selfbench(
         "blocking_ns_per_start": round(blocking_best, 1),
         "replay_ns_per_start": round(replay_best, 1),
         "amortization_speedup": round(blocking_best / replay_best, 2),
+    }
+
+
+def compiled_replay_selfbench(
+    windows: int = 10,
+    warmup: int = 6,
+    digest_windows: int = 6,
+    nbytes: int = 65536,
+    repeats: int = 2,
+) -> dict:
+    """Full persistent-allreduce windows: compiled replay on vs off.
+
+    The workload is a 4x4 cluster running persistent SUM allreduces of
+    exactly ``small_protocol_max`` bytes — the event-densest point of the
+    paper's protocol map (the pipelined reduce+broadcast pushes sixteen
+    4 KB chunks through the shared buffers per window), which is where the
+    slow path's per-event interpreter cost is most representative.  Each
+    window rewrites one rank's contribution, starts every rank's persistent
+    plan, and runs the engine to quiescence.  ``warmup`` windows populate
+    the schedule cache (both slot parities plus the self-healing re-record)
+    before timing starts, so what is measured is the steady state.  After
+    the timed block, ``digest_windows`` more windows record per-window
+    result digests — identical window indices on both paths, so the digest
+    lists must match byte for byte (the CI drift gate).
+    ``events_per_second_effective`` counts the *recorded schedule's* events
+    delivered per wall-clock second: the replay path's wall time divided
+    into the event count the slow path processes for the same windows.
+    """
+    import numpy as np
+
+    from repro.core import SRM, SRMConfig
+    from repro.machine import ClusterSpec, Machine
+    from repro.mpi.ops import SUM
+
+    count = nbytes // 8  # float64 elements
+
+    def drive(replay: bool) -> dict:
+        machine = Machine(ClusterSpec(nodes=4, tasks_per_node=4))
+        srm = SRM(machine, config=SRMConfig(compiled_replay=replay))
+        ranks = list(range(16))
+        sources = {rank: np.ones(count, dtype=np.float64) for rank in ranks}
+        buffers = {rank: np.zeros(count, dtype=np.float64) for rank in ranks}
+        plans = {
+            rank: srm.plan_allreduce(
+                machine.task(rank), sources[rank], buffers[rank], op=SUM
+            )
+            for rank in ranks
+        }
+        pattern = np.arange(count, dtype=np.float64)
+
+        def window(index: int) -> None:
+            sources[0][:] = (pattern + index) % 251.0
+            for rank in ranks:
+                plans[rank].start()
+            machine.engine.run()
+
+        for index in range(warmup):
+            window(index)
+        events_before = machine.engine.events_processed
+        started = time.perf_counter()
+        for index in range(windows):
+            window(warmup + index)
+        elapsed = time.perf_counter() - started
+        events = machine.engine.events_processed - events_before
+        digests = []
+        for index in range(digest_windows):
+            window(warmup + windows + index)
+            digest = hashlib.blake2b(digest_size=16)
+            for rank in ranks:
+                digest.update(buffers[rank].tobytes())
+            digests.append(digest.hexdigest())
+        manager = machine.engine.trace
+        return {
+            "seconds": elapsed,
+            "events": events,
+            "digests": digests,
+            "hits": getattr(manager, "hit_count", 0),
+            "misses": getattr(manager, "miss_count", 0),
+        }
+
+    best_slow: dict | None = None
+    best_replay: dict | None = None
+    for _ in range(max(1, repeats)):
+        slow = drive(replay=False)
+        fast = drive(replay=True)
+        if best_slow is None or slow["seconds"] < best_slow["seconds"]:
+            best_slow = slow
+        if best_replay is None or fast["seconds"] < best_replay["seconds"]:
+            best_replay = fast
+    assert best_slow is not None and best_replay is not None
+    slow_rate = best_slow["events"] / best_slow["seconds"]
+    # The replay path delivers the same recorded schedule; its effective
+    # event rate is the schedule's event count over the replay wall time.
+    effective_rate = best_slow["events"] / best_replay["seconds"]
+    return {
+        "windows": windows,
+        "warmup": warmup,
+        "digest_windows": digest_windows,
+        "nbytes": nbytes,
+        "repeats": max(1, repeats),
+        "schedule_events_per_window": round(best_slow["events"] / windows, 1),
+        "events_per_second_slow": round(slow_rate, 1),
+        "events_per_second_effective": round(effective_rate, 1),
+        "speedup": round(best_slow["seconds"] / best_replay["seconds"], 2),
+        "replay_hits": best_replay["hits"],
+        "replay_misses": best_replay["misses"],
+        "digests_slow": best_slow["digests"],
+        "digests_replay": best_replay["digests"],
+        "cells_identical": best_slow["digests"] == best_replay["digests"],
     }

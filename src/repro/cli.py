@@ -393,7 +393,7 @@ def _cmd_bench_self(args: argparse.Namespace) -> int:
 
     from repro.bench.selfbench import kernel_selfbench
 
-    document = kernel_selfbench()
+    document = kernel_selfbench(compiled_replay=not args.no_replay)
     print(
         f"kernel throughput: {document['events_per_second']:,.0f} events/s "
         f"(best of {document['workload']['repeats']} runs, "
@@ -406,6 +406,18 @@ def _cmd_bench_self(args: argparse.Namespace) -> int:
         f"({replay['amortization_speedup']:.1f}x amortization, "
         f"{replay['starts']} starts of {replay['nbytes']} B broadcasts)"
     )
+    compiled = document["compiled_replay"]
+    if compiled is None:
+        print("compiled replay: skipped (--no-replay)")
+    else:
+        drift = "identical" if compiled["cells_identical"] else "DRIFT DETECTED"
+        print(
+            f"compiled replay: {compiled['events_per_second_effective']:,.0f} "
+            f"effective events/s vs {compiled['events_per_second_slow']:,.0f} slow "
+            f"({compiled['speedup']:.1f}x, {compiled['replay_hits']} hits / "
+            f"{compiled['replay_misses']} misses, "
+            f"{compiled['nbytes']} B allreduce windows, digests {drift})"
+        )
     if args.json_out:
         text = json.dumps(document, indent=1, sort_keys=True)
         if args.json_out == "-":
@@ -578,6 +590,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         explorer=args.explorer,
         seed=args.seed,
         faults=not args.no_faults,
+        srm_config=SRMConfig(compiled_replay=False) if args.no_replay else None,
         metrics=metrics,
         progress=progress,
     )
@@ -841,6 +854,11 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         help="measure kernel wall-clock throughput (events/second) instead "
         "of running the grid",
     )
+    bench.add_argument(
+        "--no-replay", dest="no_replay", action="store_true",
+        help="escape hatch: skip the compiled-schedule replay scenario "
+        "(with --self)",
+    )
     add_jobs(bench)
     bench.set_defaults(handler=_cmd_bench)
 
@@ -951,6 +969,11 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     )
     verify.add_argument("--label", default="head", help="label stored in the report")
     verify.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    verify.add_argument(
+        "--no-replay", dest="no_replay", action="store_true",
+        help="escape hatch: disable compiled-schedule replay "
+        "(SRMConfig.compiled_replay=False) for every cell",
+    )
     verify.set_defaults(handler=_cmd_verify)
 
     info = commands.add_parser("info", help="dump cost model + SRM configuration")

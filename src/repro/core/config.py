@@ -56,6 +56,11 @@ class SRMConfig:
     intra_reduce_family: str = "binomial"
     #: Disable LAPI interrupts while inside a small-message collective (§2.3).
     manage_interrupts: bool = True
+    #: Record persistent-plan windows as compiled schedules and replay
+    #: repeated (plan, parity) windows with the vectorized kernel
+    #: (:mod:`repro.core.replay`).  ``False`` (the ``--no-replay`` escape
+    #: hatch) always re-drives the engine's processes and generators.
+    compiled_replay: bool = True
 
     def __post_init__(self) -> None:
         if self.pipeline_chunk < 1 or self.large_chunk < 1:

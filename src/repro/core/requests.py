@@ -43,6 +43,7 @@ from repro.core.internode.allreduce import allreduce_body, reserve_allreduce
 from repro.core.internode.barrier import barrier_body
 from repro.core.internode.broadcast import broadcast_body, reserve_broadcast
 from repro.core.internode.reduce import reduce_body, reserve_reduce
+from repro.core.replay import manager_for
 from repro.obs.taxonomy import REQUEST
 from repro.sim.events import Event
 from repro.sim.process import ProcessGenerator
@@ -108,6 +109,7 @@ class CollectiveRequest:
         invocation: InvocationState,
         body: ProcessGenerator,
         inline: bool,
+        deferred: bool = False,
     ) -> None:
         self.ctx = ctx
         self.task = task
@@ -122,20 +124,38 @@ class CollectiveRequest:
         self._value: typing.Any = None
         self._predecessor: CollectiveRequest | None = ctx._request_tail.get(task.rank)
         ctx._request_tail[task.rank] = self
-        if not inline:
-            self._process = task.engine.process(
-                self._run(),
-                name=f"req:{op}[{task.rank}]#{invocation.sequence}",
-            )
+        if not inline and not deferred:
+            self._spawn()
+
+    def _spawn(self) -> None:
+        """Materialize the progress process (idempotent).
+
+        Deferred starts (:mod:`repro.core.replay`) spawn at the next run
+        flush when their window cannot replay from a compiled schedule.
+        """
+        if self._process is not None or self._done:
+            return
+        self._process = self.task.engine.process(
+            self._run(),
+            name=f"req:{self.op}[{self.task.rank}]#{self.invocation.sequence}",
+        )
+
+    def _replay_complete(self, value: typing.Any) -> None:
+        """Complete this request from a compiled-schedule replay."""
+        self._done = True
+        self._value = value
+        if self._completion is not None:
+            self._completion.succeed(value)
 
     # -- state ---------------------------------------------------------------
 
     @property
     def completed(self) -> bool:
         """True once the operation finished at this rank."""
-        if self._inline:
-            return self._done
-        return self._process.triggered
+        process = self._process
+        if process is not None:
+            return process.triggered
+        return self._done
 
     def test(self) -> bool:
         """Nonblocking completion poll (MPI_Test without the blocking arm)."""
@@ -154,8 +174,10 @@ class CollectiveRequest:
 
     def _completion_event(self) -> Event:
         """An event firing at this request's completion (for successors)."""
-        if not self._inline:
+        if self._process is not None:
             return typing.cast(Event, self._process)
+        # Inline requests and deferred (replayable) requests complete via an
+        # explicit event: wait()'s inline arm or _replay_complete fires it.
         if self._completion is None:
             self._completion = Event(
                 self.task.engine, name=f"req-done:{self.op}[{self.task.rank}]"
@@ -205,6 +227,12 @@ class CollectiveRequest:
             if self._completion is not None:
                 self._completion.succeed(value)
             return value
+        if self._process is None:
+            # Deferred start: replayed windows are already done; a wait that
+            # somehow precedes the run flush materializes the slow path.
+            if self._done:
+                return self._value
+            self._spawn()
         process = self.task.engine.active_process
         if process is not None:
             process.waiting_request = self
@@ -235,6 +263,7 @@ class PersistentCollective:
         decision: "Decision | None",
         reserve: typing.Callable[[], InvocationState],
         body: typing.Callable[[InvocationState], ProcessGenerator],
+        rebuild: typing.Callable[..., Prepared] | None = None,
     ) -> None:
         self.ctx = ctx
         self.task = task
@@ -245,8 +274,12 @@ class PersistentCollective:
         self.decision = decision
         self._reserve = reserve
         self._body = body
+        self._rebuild = rebuild
         #: Number of times this plan has been started.
         self.starts = 0
+        #: Bumped by :meth:`invalidate`; part of every compiled-schedule key,
+        #: so stale traces can never match a rebound plan.
+        self._generation = 0
 
     def prepare_start(self) -> tuple[InvocationState, ProcessGenerator]:
         """The per-start work minus process spawn: reserve a window and
@@ -257,12 +290,57 @@ class PersistentCollective:
         return invocation, self._body(invocation)
 
     def start(self) -> CollectiveRequest:
-        """Begin one invocation; returns its request handle."""
+        """Begin one invocation; returns its request handle.
+
+        When compiled replay is enabled (:attr:`SRMConfig.compiled_replay`)
+        and the engine is idle, the start is *deferred*: the next plain
+        ``engine.run()`` either replays a cached :class:`CompiledSchedule`
+        for the whole window of deferred starts or materializes (and
+        records) the slow path.  Starts issued from inside a running
+        process always spawn immediately, exactly as before.
+        """
         invocation, body = self.prepare_start()
         self.starts += 1
+        if self.ctx.config.compiled_replay:
+            manager = manager_for(self.task.engine)
+            if manager.accepts(self):
+                request = CollectiveRequest(
+                    self.ctx, self.task, self.op, self.root, invocation, body,
+                    inline=False, deferred=True,
+                )
+                manager.defer(self, invocation, request)
+                return request
         return CollectiveRequest(
             self.ctx, self.task, self.op, self.root, invocation, body, inline=False
         )
+
+    def invalidate(self) -> None:
+        """Drop every compiled schedule recorded against this plan.
+
+        Must be called (and is called by :meth:`rebind`) whenever the plan's
+        buffer bindings change; a replay against stale bindings would move
+        the wrong bytes.
+        """
+        self._generation += 1
+        trace = self.task.engine.trace
+        if trace is not None:
+            trace.invalidate_plan(self)
+
+    def rebind(self, *args: typing.Any, **kwargs: typing.Any) -> "PersistentCollective":
+        """Re-prepare this plan against new buffer arguments (in place).
+
+        Arguments mirror the plan's ``persistent_*`` constructor (minus
+        ``ctx``/``task``/``root``).  Cached compiled schedules are
+        invalidated; the next start re-records.
+        """
+        if self._rebuild is None:
+            raise TypeError(f"persistent {self.op} plan does not support rebind")
+        decision, reserve, body = self._rebuild(*args, **kwargs)
+        self.decision = decision
+        self._reserve = reserve
+        self._body = body
+        self.invalidate()
+        return self
 
     def __repr__(self) -> str:
         return (
@@ -442,7 +520,10 @@ def persistent_broadcast(
 ) -> PersistentCollective:
     """Build a persistent broadcast plan over ``buffer`` (bound at init)."""
     decision, reserve, body = prepare_broadcast(ctx, task, buffer, root, persistent=True)
-    return PersistentCollective(ctx, task, "broadcast", root, decision, reserve, body)
+    return PersistentCollective(
+        ctx, task, "broadcast", root, decision, reserve, body,
+        rebuild=lambda new_buffer: prepare_broadcast(ctx, task, new_buffer, root, persistent=True),
+    )
 
 
 def persistent_reduce(
@@ -455,7 +536,12 @@ def persistent_reduce(
 ) -> PersistentCollective:
     """Build a persistent reduce plan (buffers and operator bound at init)."""
     decision, reserve, body = prepare_reduce(ctx, task, src, dst, op, root, persistent=True)
-    return PersistentCollective(ctx, task, "reduce", root, decision, reserve, body)
+    return PersistentCollective(
+        ctx, task, "reduce", root, decision, reserve, body,
+        rebuild=lambda new_src, new_dst: prepare_reduce(
+            ctx, task, new_src, new_dst, op, root, persistent=True
+        ),
+    )
 
 
 def persistent_allreduce(
@@ -467,7 +553,12 @@ def persistent_allreduce(
 ) -> PersistentCollective:
     """Build a persistent allreduce plan (buffers and operator bound at init)."""
     decision, reserve, body = prepare_allreduce(ctx, task, src, dst, op, persistent=True)
-    return PersistentCollective(ctx, task, "allreduce", None, decision, reserve, body)
+    return PersistentCollective(
+        ctx, task, "allreduce", None, decision, reserve, body,
+        rebuild=lambda new_src, new_dst: prepare_allreduce(
+            ctx, task, new_src, new_dst, op, persistent=True
+        ),
+    )
 
 
 def persistent_barrier(ctx: SRMContext, task: "Task") -> PersistentCollective:

@@ -193,6 +193,13 @@ class LapiEndpoint:
         target_task = machine.task(target_rank)
         nbytes = int(src.nbytes)
         snapshot = np.array(src, copy=True)
+        trace = self.engine.trace
+        if trace is not None:
+            # Record at *issue* position with live views: the tape's order
+            # reproduces the snapshot-at-injection semantics, because flow
+            # control forbids source rewrites or destination reads between
+            # a put's issue and its delivery.
+            trace.record_copy(dst, src)
         issue_time = self.engine.now
         with self.task.phase(PUT_ISSUE):
             yield self.engine.timeout(self.cost.rma_origin_overhead)
@@ -285,6 +292,9 @@ class LapiEndpoint:
                 # ... data streams back.
                 yield from network_transfer(target_task.node, self.task.node, nbytes)
             raw_copyto(dst, src)
+            trace = self.engine.trace
+            if trace is not None:
+                trace.record_copy(dst, src)
             if completion_counter is not None:
                 completion_counter.increment()
                 # The cause chain for a get leads back to the origin's own
@@ -335,6 +345,11 @@ class LapiEndpoint:
         once the header (plus ``nbytes`` of payload timing) arrives."""
         machine = self.task.machine
         target_task = machine.task(target_rank)
+        trace = self.engine.trace
+        if trace is not None:
+            # Handler side effects are arbitrary Python; the op tape cannot
+            # represent them, so a window containing an amsend never caches.
+            trace.record_opaque("amsend handler")
         with self.task.phase(AMSEND):
             yield self.engine.timeout(self.cost.rma_origin_overhead)
         self.stats.amsends += 1

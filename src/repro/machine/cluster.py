@@ -131,6 +131,9 @@ class Task:
             yield self.engine.timeout(self.cost.sm_copy_latency)
             yield self.node.bus.transfer(nbytes, max_rate=self.cost.sm_copy_bandwidth)
         raw_copyto(dst, src)
+        trace = self.engine.trace
+        if trace is not None:
+            trace.record_copy(dst, src)
         self.stats.copies += 1
         self.stats.bytes_copied += nbytes
         self.obs.copies.inc()
@@ -155,6 +158,9 @@ class Task:
             yield self.engine.timeout(self.cost.sm_copy_latency)
             yield self.node.bus.transfer(nbytes, max_rate=self.cost.reduce_op_bandwidth)
         op(dst, src)
+        trace = self.engine.trace
+        if trace is not None:
+            trace.record_reduce(dst, src, op)
         self.stats.reduce_ops += 1
         self.stats.bytes_reduced += nbytes
         self.obs.reduce_ops.inc()
@@ -178,6 +184,9 @@ class Task:
             yield self.engine.timeout(self.cost.sm_copy_latency)
             yield self.node.bus.transfer(nbytes, max_rate=self.cost.reduce_op_bandwidth)
         op.combine_into(dst, a, b)
+        trace = self.engine.trace
+        if trace is not None:
+            trace.record_combine(dst, a, b, op)
         self.stats.reduce_ops += 1
         self.stats.bytes_reduced += nbytes
         self.obs.reduce_ops.inc()

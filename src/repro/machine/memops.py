@@ -1,10 +1,16 @@
-"""Raw byte-level copy helper shared by the data-moving substrates."""
+"""Raw byte-level memory operations shared by the data-moving substrates.
+
+:func:`raw_copyto` is the single byte-moving primitive of the simulated
+transports; :func:`apply_batch` replays a flat tape of such operations in one
+tight pass — the vectorized kernel behind compiled-schedule replay
+(:mod:`repro.core.replay`).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["raw_copyto"]
+__all__ = ["raw_copyto", "apply_batch"]
 
 
 def raw_copyto(dst: np.ndarray, src: np.ndarray) -> None:
@@ -18,3 +24,22 @@ def raw_copyto(dst: np.ndarray, src: np.ndarray) -> None:
         np.copyto(dst, src)
     else:
         np.copyto(dst.reshape(-1).view(np.uint8), src.reshape(-1).view(np.uint8))
+
+
+def apply_batch(ops) -> int:
+    """Apply a flat tape of memory operations in capture order.
+
+    Each entry is ``(kind, dst, a, b, op)`` with kind 0 = raw copy
+    (``a`` → ``dst``), 1 = operator application (``op(dst, a)``), and
+    2 = two-source combine (``op.combine_into(dst, a, b)``).  The tape is
+    ordered, so overlapping extents resolve exactly as the recorded
+    schedule resolved them.  Returns the number of operations applied.
+    """
+    for kind, dst, a, b, op in ops:
+        if kind == 0:
+            raw_copyto(dst, a)
+        elif kind == 1:
+            op(dst, a)
+        else:
+            op.combine_into(dst, a, b)
+    return len(ops)

@@ -62,6 +62,10 @@ class Engine:
         #: Resource-occupancy monitor (:class:`repro.obs.monitor.ResourceMonitor`)
         #: consulted by the contention resources; ``None`` disables recording.
         self.monitor: typing.Any = None
+        #: Compiled-schedule replay manager (:class:`repro.core.replay.ReplayManager`)
+        #: consulted by the run loops and the data-moving substrates;
+        #: ``None`` disables trace recording and replay.
+        self.trace: typing.Any = None
         # Weak registry of every process started on this engine, kept so a
         # deadlock can name who is still blocked and on what.
         self._processes: list[weakref.ref] = []
@@ -170,6 +174,10 @@ class Engine:
 
     def step(self) -> None:
         """Process the single next event in the queue."""
+        if self.trace is not None:
+            # Stepped windows are driven one event at a time; deferred starts
+            # materialize on the slow path (no recording, no replay).
+            self.trace.on_run("step")
         if not self._queue:
             raise self._deadlock("event queue is empty")
         when, _seq, event = heapq.heappop(self._queue)
@@ -227,6 +235,11 @@ class Engine:
         current time carries a later sequence number, landing in a later
         batch exactly as it would land in a later step.
         """
+        trace = self.trace
+        if trace is not None:
+            # Flush deferred persistent starts: replay a cached schedule or
+            # materialize (and possibly record) the slow path.
+            trace.on_run(until)
         if isinstance(until, Event):
             return self._run_until_processed(until)
         if self.scheduler is not None:
@@ -242,6 +255,9 @@ class Engine:
                 self._now = when
                 self.events_processed += 1
                 fire(event)
+            if trace is not None:
+                # Quiescence: the only point where a recording may commit.
+                trace.on_quiescent()
             return None
         deadline = float(until)
         if deadline < self._now:

@@ -21,6 +21,12 @@ reports it:
   programs; with two invocations of one plan in flight the aliased slot is
   refilled while readers still hold it.  Detected on an overlap cell by the
   buffer invariants (overwrite-in-use / read-before-ready) or a deadlock.
+* ``stale-compiled-schedule`` — ``PersistentCollective.invalidate`` becomes
+  a no-op, so ``rebind()`` leaves the compiled-schedule replay cache
+  (:mod:`repro.core.replay`) holding traces whose op tapes view the old
+  buffers.  Post-rebind windows then hit the stale trace and move data into
+  arrays nobody reads.  Detected on the ``replay-rebind`` verify cell by
+  ``result-mismatch`` (the rebound buffers never receive the payload).
 
 Patches target the **class methods** (``SharedFlag.wait_value``,
 ``FlagArray.set_all``) rather than module globals, so every call site —
@@ -113,6 +119,26 @@ def _alias_invocation_slot() -> typing.Iterator[None]:
         CollectiveRequest._gate_on_predecessor = original_gate  # type: ignore[method-assign]
 
 
+@contextlib.contextmanager
+def _stale_compiled_schedule() -> typing.Iterator[None]:
+    from repro.core.requests import PersistentCollective
+
+    original = PersistentCollective.invalidate
+
+    def mutated(self: PersistentCollective) -> None:
+        # The bug: rebind() forgets to invalidate — the replay cache keeps
+        # traces whose op tapes still hold views of the *old* buffers, so a
+        # post-rebind cache hit replays data movement into arrays nobody
+        # reads and the freshly bound buffers never change.
+        return None
+
+    PersistentCollective.invalidate = mutated  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        PersistentCollective.invalidate = original  # type: ignore[method-assign]
+
+
 #: name -> (expected detection, context-manager factory)
 MUTATIONS: dict[str, tuple[str, typing.Callable[[], typing.ContextManager[None]]]] = {
     "skip-ready-wait": (
@@ -129,6 +155,11 @@ MUTATIONS: dict[str, tuple[str, typing.Callable[[], typing.ContextManager[None]]
         "overlapping starts share one slot window with no ordering chain "
         "(expect buffer overwrite/read violations or a deadlock)",
         _alias_invocation_slot,
+    ),
+    "stale-compiled-schedule": (
+        "rebind() stops invalidating the compiled-schedule cache "
+        "(expect result-mismatch on the replay-rebind cell)",
+        _stale_compiled_schedule,
     ),
 }
 

@@ -111,6 +111,18 @@ def default_grid(
         nbytes = 0 if operation == "barrier" else REGIME_SIZES["small"]
         for overlap in ("plan2", "plans"):
             cells.append(Cell(nodes, procs, operation, regime, nbytes, overlap))
+    # Compiled-replay windows (the trace cache): repeated persistent starts
+    # driven from outside the engine, where the reference run replays the
+    # recorded schedule while every explored schedule re-drives the slow
+    # path — digest equality is the replay-vs-slow differential.  The
+    # ``replay-rebind`` variant rebinds the plans to fresh buffers midway,
+    # exercising trace invalidation (barrier has no buffers to rebind).
+    for operation in operations:
+        regime = "none" if operation == "barrier" else "small"
+        nbytes = 0 if operation == "barrier" else REGIME_SIZES["small"]
+        cells.append(Cell(nodes, procs, operation, regime, nbytes, "replay"))
+        if operation != "barrier":
+            cells.append(Cell(nodes, procs, operation, regime, nbytes, "replay-rebind"))
     return cells
 
 
@@ -123,6 +135,9 @@ def quick_grid() -> list[Cell]:
         ("broadcast", "plan2"),
         ("broadcast", "plans"),
         ("allreduce", "plan2"),
+        ("broadcast", "replay"),
+        ("broadcast", "replay-rebind"),
+        ("allreduce", "replay"),
     }
     return [
         cell for cell in cells
@@ -145,6 +160,162 @@ def _digest(arrays: typing.Iterable[np.ndarray]) -> str:
     for array in arrays:
         hasher.update(np.ascontiguousarray(array).tobytes())
     return hasher.hexdigest()
+
+
+#: Windows per replay cell and the window index at which ``replay-rebind``
+#: swaps every plan onto fresh buffers.  Six windows cover the record, the
+#: self-healing re-record, and steady-state replays of both slot parities.
+REPLAY_WINDOWS = 6
+REPLAY_REBIND_AT = 3
+
+
+def _run_replay_windows(
+    cell: Cell,
+    machine: Machine,
+    srm: SRM,
+    verifier: Verifier,
+    scheduler: Scheduler | None,
+    fault_plan: FaultPlan | None,
+    total: int,
+    count: int,
+) -> ScheduleOutcome:
+    """Drive a replay cell: repeated persistent windows from outside the engine.
+
+    Unlike the launch-driven cells, each window issues every rank's
+    ``start()`` while the engine is idle and then runs to quiescence — the
+    shape under which the compiled-schedule cache engages.  The reference
+    run (no scheduler, no faults) replays recorded traces; explored
+    schedules re-drive the slow path, so the cell's digest-invariance check
+    doubles as a replay-vs-slow-path differential.  ``replay-rebind``
+    additionally rebinds every plan to fresh buffers mid-sequence, which
+    must invalidate the cached traces (the ``stale-compiled-schedule``
+    mutation breaks exactly that and must be caught here).
+    """
+    engine = machine.engine
+    nbytes = max(1, cell.nbytes)
+
+    def allocate() -> tuple[dict, dict, dict, np.ndarray]:
+        buffers = {r: np.zeros(nbytes, dtype=np.uint8) for r in range(total)}
+        sources = {r: np.full(count, float(r + 1)) for r in range(total)}
+        destinations = {r: np.zeros(count) for r in range(total)}
+        return buffers, sources, destinations, np.zeros(count)
+
+    def build_plans(buffers, sources, destinations, reduce_dst) -> dict:
+        plans = {}
+        for rank in range(total):
+            task = machine.task(rank)
+            if cell.operation == "broadcast":
+                plans[rank] = srm.plan_broadcast(task, buffers[rank], root=0)
+            elif cell.operation == "reduce":
+                dst = reduce_dst if rank == 0 else None
+                plans[rank] = srm.plan_reduce(task, sources[rank], dst, SUM, root=0)
+            elif cell.operation == "allreduce":
+                plans[rank] = srm.plan_allreduce(
+                    task, sources[rank], destinations[rank], SUM
+                )
+            elif cell.operation == "barrier":
+                plans[rank] = srm.plan_barrier(task)
+            else:
+                raise VerificationError(f"unknown operation {cell.operation!r}")
+        return plans
+
+    def rebind_plans(plans, buffers, sources, destinations, reduce_dst) -> None:
+        for rank in range(total):
+            if cell.operation == "broadcast":
+                plans[rank].rebind(buffers[rank])
+            elif cell.operation == "reduce":
+                plans[rank].rebind(sources[rank], reduce_dst if rank == 0 else None)
+            elif cell.operation == "allreduce":
+                plans[rank].rebind(sources[rank], destinations[rank])
+
+    buffers, sources, destinations, reduce_dst = allocate()
+    plans = build_plans(buffers, sources, destinations, reduce_dst)
+    rebind_at = REPLAY_REBIND_AT if cell.overlap == "replay-rebind" else None
+
+    error: str | None = None
+    start = engine.now
+    violations: list[dict] = []
+    hasher = hashlib.blake2b(digest_size=16)
+    try:
+        for window in range(REPLAY_WINDOWS):
+            if rebind_at is not None and window == rebind_at:
+                buffers, sources, destinations, reduce_dst = allocate()
+                rebind_plans(plans, buffers, sources, destinations, reduce_dst)
+            fill = (7 + 31 * window) % 251
+            if cell.operation == "broadcast":
+                buffers[0][:] = fill
+            elif cell.operation in ("reduce", "allreduce"):
+                sources[0][:] = float(window + 1)
+            requests = [plans[rank].start() for rank in range(total)]
+            engine.run()
+            for request in requests:
+                if not request.completed:
+                    raise VerificationError(
+                        f"window {window}: {request.describe()} incomplete "
+                        "after the engine drained"
+                    )
+            if cell.operation == "broadcast":
+                results = [buffers[r] for r in range(total)]
+                truth_ok = all(np.all(buf == fill) for buf in results)
+            elif cell.operation == "reduce":
+                expected = _expected_sum(total, count) + float(window)
+                results = [reduce_dst]
+                truth_ok = bool(np.array_equal(reduce_dst, expected))
+            elif cell.operation == "allreduce":
+                expected = _expected_sum(total, count) + float(window)
+                results = [destinations[r] for r in range(total)]
+                truth_ok = all(np.array_equal(dst, expected) for dst in results)
+            else:  # barrier: completion is the result
+                results = []
+                truth_ok = True
+            for array in results:
+                hasher.update(np.ascontiguousarray(array).tobytes())
+            if not truth_ok:
+                violations.append(
+                    {
+                        "rule": "result-mismatch",
+                        "subject": cell.cell_id,
+                        "time": engine.now - start,
+                        "detail": (
+                            f"window {window} data disagrees with the analytic "
+                            "truth"
+                        ),
+                    }
+                )
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    elapsed = engine.now - start
+
+    manager = engine.trace
+    if (
+        error is None
+        and scheduler is None
+        and fault_plan is None
+        and srm.config.compiled_replay
+        and (manager is None or manager.hit_count == 0)
+    ):
+        # A replay cell whose reference run never replayed is vacuous —
+        # flag it rather than silently verifying only the slow path.
+        violations.append(
+            {
+                "rule": "replay-not-engaged",
+                "subject": cell.cell_id,
+                "time": elapsed,
+                "detail": "no compiled-schedule cache hit across the window sequence",
+            }
+        )
+    violations.extend(violation.as_dict() for violation in verifier.violations)
+    digest = hasher.hexdigest() if error is None and cell.operation != "barrier" else ""
+    signature = scheduler.signature() if scheduler is not None else "default"
+    return ScheduleOutcome(
+        explorer=scheduler.name if scheduler is not None else "default",
+        signature=signature,
+        digest=digest,
+        elapsed=elapsed,
+        violations=violations,
+        error=error,
+        injected=dict(fault_plan.injected) if fault_plan is not None else None,
+    )
 
 
 def run_cell_once(
@@ -171,6 +342,11 @@ def run_cell_once(
     srm = SRM(machine, config=srm_config)
     total = spec.total_tasks
     count = max(1, cell.nbytes // 8)
+
+    if cell.overlap in ("replay", "replay-rebind"):
+        return _run_replay_windows(
+            cell, machine, srm, verifier, scheduler, fault_plan, total, count
+        )
 
     bcast_buffers = {r: np.zeros(max(1, cell.nbytes), dtype=np.uint8) for r in range(total)}
     bcast_buffers[0][:] = 7
@@ -447,6 +623,7 @@ def run_mutation_smoke(
     # overlap cell; everything else smokes on the classic blocking cell.
     smoke_cells: dict[str, Cell] = {
         "alias-invocation-slot": dataclasses.replace(cell, overlap="plan2"),
+        "stale-compiled-schedule": dataclasses.replace(cell, overlap="replay-rebind"),
     }
     results: list[dict] = []
     for name in names:

@@ -6,6 +6,8 @@ makespans, even the number of engine events processed — must be bit-identical
 to an instrumented run.
 """
 
+import re
+
 import numpy as np
 
 from repro.core.srm import SRM
@@ -94,3 +96,121 @@ def test_observe_flag_defaults_on():
     machine = Machine(ClusterSpec(nodes=1, tasks_per_node=2))
     assert machine.obs.enabled
     assert machine.obs.metrics.enabled
+
+
+# ---------------------------------------------------------------------------
+# compiled replay: replayed windows must re-emit the recorded observability
+# ---------------------------------------------------------------------------
+
+
+def _window_spans(recorder, t0, t1):
+    """Spans of one window, time-shifted and with window-relative parents.
+
+    The window is half-open in the span's *start*: zero-length spans (e.g.
+    ``request`` dispatch) sit exactly on quiescence boundaries, so a span
+    starting at ``t1`` belongs to the next window, not this one.
+    """
+    eps = 1e-9
+    rows = [
+        (index, span)
+        for index, span in enumerate(recorder.spans)
+        if span.start >= t0 - eps
+        and span.start < t1 - eps
+        and span.end is not None
+        and span.end <= t1 + eps
+    ]
+    base = rows[0][0] if rows else 0
+    normalized = []
+    for index, span in rows:
+        detail = re.sub(r"#\d+", "#N", span.detail or "")
+        parent = span.parent - base if span.parent >= 0 else -1
+        normalized.append(
+            (
+                span.name,
+                span.rank,
+                span.depth,
+                span.track,
+                round(span.start - t0, 9),
+                round(span.end - t0, 9),
+                parent,
+                detail,
+            )
+        )
+    return normalized
+
+
+def test_replayed_window_reemits_recorded_observability():
+    """Phase spans, critical-path breakdown, and wait classification of a
+    replayed window match the recorded run it was compiled from (shifted to
+    the replay window's start; invocation numbers normalized)."""
+    from repro.core import SRMConfig
+    from repro.obs.critical import critical_path
+    from repro.obs.waits import classify_waits
+
+    machine = Machine(ClusterSpec(nodes=2, tasks_per_node=2))
+    srm = SRM(machine, config=SRMConfig(compiled_replay=True))
+    total = machine.spec.total_tasks
+    buffers = {r: np.zeros(2048, np.uint8) for r in range(total)}
+    plans = [srm.plan_broadcast(machine.task(r), buffers[r], root=0) for r in range(total)]
+
+    manager = None
+    windows = []  # (t0, t1, was_hit)
+    for window in range(8):
+        buffers[0][:] = window + 1
+        t0 = machine.engine.now
+        hits_before = machine.engine.trace.hit_count if machine.engine.trace else 0
+        for plan in plans:
+            plan.start()
+        machine.engine.run()
+        manager = machine.engine.trace
+        windows.append((t0, machine.engine.now, manager.hit_count > hits_before))
+
+    # Pick a recorded (miss) window and a replayed (hit) window of the same
+    # slot parity — the replay applied exactly that recorded trace.
+    recorded = max(i for i, (_, _, hit) in enumerate(windows) if not hit)
+    replayed = max(
+        i for i, (_, _, hit) in enumerate(windows) if hit and i % 2 == recorded % 2
+    )
+    rec_t0, rec_t1, _ = windows[recorded]
+    rep_t0, rep_t1, _ = windows[replayed]
+
+    # Same wall of phase spans, time-shifted.
+    recorder = machine.obs.recorder
+    rec_spans = _window_spans(recorder, rec_t0, rec_t1)
+    rep_spans = _window_spans(recorder, rep_t0, rep_t1)
+    assert rec_spans, "recorded window produced no spans"
+    assert rec_spans == rep_spans
+
+    # Same critical-path breakdown over the window...
+    rec_path = critical_path(recorder, start=rec_t0, end=rec_t1)
+    rep_path = critical_path(recorder, start=rep_t0, end=rep_t1)
+    rec_segments = [
+        (s.phase, s.rank, round(s.start - rec_t0, 9), round(s.end - rec_t0, 9))
+        for s in rec_path.segments
+    ]
+    rep_segments = [
+        (s.phase, s.rank, round(s.start - rep_t0, 9), round(s.end - rep_t0, 9))
+        for s in rep_path.segments
+    ]
+    assert rec_segments == rep_segments
+
+    # ...and the same wait-state classification.
+    rec_waits = classify_waits(machine, start=rec_t0, end=rec_t1)
+    rep_waits = classify_waits(machine, start=rep_t0, end=rep_t1)
+
+    def wait_rows(report, t0):
+        return sorted(
+            (
+                interval.rank,
+                interval.phase,
+                interval.context,
+                interval.state,
+                interval.resource,
+                interval.on_critical_path,
+                round(interval.start - t0, 9),
+                round(interval.end - t0, 9),
+            )
+            for interval in report.intervals
+        )
+
+    assert wait_rows(rec_waits, rec_t0) == wait_rows(rep_waits, rep_t0)

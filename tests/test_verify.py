@@ -355,6 +355,7 @@ def test_mutation_registry_shapes():
         "skip-ready-wait",
         "skip-ready-set",
         "alias-invocation-slot",
+        "stale-compiled-schedule",
     }
     with pytest.raises(VerificationError):
         apply_mutation("no-such-mutation")

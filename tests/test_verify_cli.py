@@ -130,8 +130,8 @@ def test_cli_verify_smoke_passes_and_reports(tmp_path, capsys):
     assert report["body"]["mode"] == "mutation-smoke"
     assert report["body"]["ok"] is True
     detected = [m for m in report["body"]["mutations"] if m["detected"]]
-    assert len(detected) == len(report["body"]["mutations"]) >= 3
-    assert "3/3 injected bugs detected" in capsys.readouterr().out
+    assert len(detected) == len(report["body"]["mutations"]) >= 4
+    assert "4/4 injected bugs detected" in capsys.readouterr().out
 
 
 def test_cli_verify_progress_lines(capsys):
@@ -140,6 +140,7 @@ def test_cli_verify_progress_lines(capsys):
     )
     assert code == 0
     out = capsys.readouterr().out
-    # One blocking cell plus the two overlap (plan2/plans) cells.
-    assert "verify [1/3] barrier/n2xp2" in out
-    assert "/plan2" in out and "/plans" in out
+    # One blocking cell, the two overlap (plan2/plans) cells, and the
+    # compiled-replay windows cell (barrier has no buffers to rebind).
+    assert "verify [1/4] barrier/n2xp2" in out
+    assert "/plan2" in out and "/plans" in out and "/replay" in out
